@@ -1,0 +1,81 @@
+// ABL-OVH: capability overhead in the worst case — over shared memory,
+// where no network time hides the capability processing (the paper's §5
+// argues the overhead is "small" because network time dominates; this
+// bench quantifies the raw overhead that claim sweeps under the link).
+//
+// Sweeps chain length k = 0..4 (audit, checksum, authentication,
+// encryption stacked in that order) across payload sizes.  Times here are
+// real CPU time only.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "ohpx/capability/builtin/audit.hpp"
+#include "ohpx/capability/builtin/checksum.hpp"
+#include "ohpx/capability/builtin/encryption.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+struct OverheadWorld {
+  OverheadWorld() {
+    const netsim::LanId lan = world.add_lan("lan");
+    machine = world.add_machine("M0", lan);
+    client_ctx = &world.create_context(machine);
+    server_ctx = &world.create_context(machine);
+  }
+
+  scenario::EchoPointer pointer_with_chain_length(int k) {
+    const auto key = crypto::Key128::from_seed(7);
+    std::vector<cap::CapabilityPtr> chain;
+    if (k >= 1) chain.push_back(std::make_shared<cap::AuditCapability>());
+    if (k >= 2) chain.push_back(std::make_shared<cap::ChecksumCapability>());
+    if (k >= 3) {
+      chain.push_back(std::make_shared<cap::AuthenticationCapability>(
+          key, "bench", cap::Scope::always));
+    }
+    if (k >= 4) chain.push_back(std::make_shared<cap::EncryptionCapability>(key));
+
+    orb::RefBuilder builder(*server_ctx,
+                            std::make_shared<scenario::EchoServant>());
+    if (k == 0) {
+      builder.shm();
+    } else {
+      builder.glue(std::move(chain), "shm");
+    }
+    return scenario::EchoPointer(*client_ctx, builder.build());
+  }
+
+  runtime::World world;
+  netsim::MachineId machine{};
+  orb::Context* client_ctx = nullptr;
+  orb::Context* server_ctx = nullptr;
+};
+
+OverheadWorld& overhead_world() {
+  static OverheadWorld world;
+  return world;
+}
+
+void CapabilityOverhead(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  auto gp = overhead_world().pointer_with_chain_length(k);
+  state.SetLabel(gp->probe_protocol());
+
+  std::vector<std::int32_t> values(n, 7);
+  for (auto _ : state) {
+    auto reply = gp->echo(values);
+    benchmark::DoNotOptimize(reply);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          static_cast<std::int64_t>(n));
+  state.counters["chain_len"] = k;
+}
+
+BENCHMARK(CapabilityOverhead)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {16, 1024, 65536, 1 << 20}});
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

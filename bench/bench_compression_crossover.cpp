@@ -1,0 +1,115 @@
+// ABL-XOVER: where does the compression capability pay off?
+//
+// The paper frames capabilities as per-reference QoS trade-offs (§1).
+// Compression is the capability with a real trade-off: it burns CPU to
+// save wire time, so it wins on slow links and loses on fast ones.  This
+// bench sweeps link speed × payload compressibility for plain nexus vs
+// glue[compression(lz77)] and reports effective Mbps — the crossover is
+// visible as the point where the glue series overtakes the plain one.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "ohpx/capability/builtin/compression.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+struct CrossoverWorld {
+  CrossoverWorld(netsim::LinkSpec link) {
+    const netsim::LanId lan = world.add_lan("lan");
+    world.topology().set_lan_link(lan, std::move(link));
+    m_client = world.add_machine("M0", lan);
+    m_server = world.add_machine("M1", lan);
+    client_ctx = &world.create_context(m_client);
+    server_ctx = &world.create_context(m_server);
+  }
+
+  scenario::EchoPointer plain() {
+    auto ref = orb::RefBuilder(*server_ctx,
+                               std::make_shared<scenario::EchoServant>())
+                   .nexus()
+                   .build();
+    return scenario::EchoPointer(*client_ctx, ref);
+  }
+
+  scenario::EchoPointer compressed() {
+    auto ref = orb::RefBuilder(*server_ctx,
+                               std::make_shared<scenario::EchoServant>())
+                   .glue({std::make_shared<cap::CompressionCapability>(
+                             compress::CodecId::lz)},
+                         "nexus-tcp")
+                   .build();
+    return scenario::EchoPointer(*client_ctx, ref);
+  }
+
+  runtime::World world;
+  netsim::MachineId m_client{}, m_server{};
+  orb::Context* client_ctx = nullptr;
+  orb::Context* server_ctx = nullptr;
+};
+
+netsim::LinkSpec link_for(int id) {
+  switch (id) {
+    case 0: return netsim::wan_t3();            // 45 Mbps
+    case 1: return netsim::ethernet_10();       // 10 Mbps
+    case 2: return netsim::fast_ethernet_100(); // 100 Mbps
+    default: return netsim::LinkSpec{"gige", 1e9, std::chrono::microseconds(50)};
+  }
+}
+
+const char* link_name(int id) {
+  switch (id) {
+    case 0: return "t3-45";
+    case 1: return "eth-10";
+    case 2: return "eth-100";
+    default: return "gige-1000";
+  }
+}
+
+/// Highly compressible payload: long runs of slowly-varying values.
+std::vector<std::int32_t> compressible_values(std::size_t n) {
+  std::vector<std::int32_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<std::int32_t>(i / 512);
+  }
+  return values;
+}
+
+void run_crossover(benchmark::State& state, bool with_compression) {
+  const int link_id = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+
+  CrossoverWorld world(link_for(link_id));
+  auto gp = with_compression ? world.compressed() : world.plain();
+  const auto values = compressible_values(n);
+
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    CostLedger ledger;
+    auto reply = gp->echo_with_cost(ledger, values);
+    benchmark::DoNotOptimize(reply);
+    state.SetIterationTime(ledger.total_seconds());
+    total_seconds += ledger.total_seconds();
+  }
+  const double bytes = 2.0 * 4.0 * static_cast<double>(n) *
+                       static_cast<double>(state.iterations());
+  state.counters["Mbps_effective"] = bytes * 8.0 / (total_seconds * 1e6);
+  state.SetLabel(link_name(link_id));
+}
+
+void Xover_Plain(benchmark::State& state) { run_crossover(state, false); }
+void Xover_Compressed(benchmark::State& state) { run_crossover(state, true); }
+
+void configure(benchmark::internal::Benchmark* bench) {
+  bench->ArgsProduct({{0, 1, 2, 3}, {65536, 1 << 20}})
+      ->UseManualTime()
+      ->Iterations(4);
+}
+
+BENCHMARK(Xover_Plain)->Apply(configure);
+BENCHMARK(Xover_Compressed)->Apply(configure);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

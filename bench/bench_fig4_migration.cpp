@@ -1,0 +1,55 @@
+// FIG4-MIG: the Figure 4 experiment end-to-end — the server object
+// pseudo-migrates M1 → M2 → M3 → M0 while a client on M0 keeps issuing
+// echo requests.  One benchmark per stage; the label embeds the protocol
+// the ORB auto-selected at that stage, so the output shows the adaptivity
+// sequence the paper narrates:
+//
+//   stage 1 (M1): glue[quota,authentication]->nexus-tcp
+//   stage 3 (M2): glue[quota]->nexus-tcp
+//   stage 5 (M3): nexus-tcp
+//   stage 7 (M0): shm
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "ohpx/scenario/figure4.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+scenario::Figure4Scenario& fig4() {
+  static scenario::Figure4Scenario scenario(netsim::atm_155(),
+                                            netsim::wan_t3());
+  return scenario;
+}
+
+void run_stage(benchmark::State& state, netsim::MachineId machine) {
+  auto& scenario = fig4();
+  if (scenario.server_machine() != machine) {
+    scenario.migrate_to(machine);
+  }
+  auto gp = scenario.client_pointer();
+  state.SetLabel(gp->probe_protocol());
+  run_echo_series(state, gp);
+}
+
+void Fig4_Stage1_M1(benchmark::State& state) { run_stage(state, fig4().m1()); }
+void Fig4_Stage3_M2(benchmark::State& state) { run_stage(state, fig4().m2()); }
+void Fig4_Stage5_M3(benchmark::State& state) { run_stage(state, fig4().m3()); }
+void Fig4_Stage7_M0(benchmark::State& state) { run_stage(state, fig4().m0()); }
+
+void configure(benchmark::internal::Benchmark* bench) {
+  for (const std::int64_t n : figure5_sizes()) bench->Arg(n);
+  bench->UseManualTime()->Iterations(8);
+}
+
+// Registration order matters: stages must run in the paper's migration
+// order (google-benchmark executes in registration order).
+BENCHMARK(Fig4_Stage1_M1)->Apply(configure);
+BENCHMARK(Fig4_Stage3_M2)->Apply(configure);
+BENCHMARK(Fig4_Stage5_M3)->Apply(configure);
+BENCHMARK(Fig4_Stage7_M0)->Apply(configure);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// FIG5-ATM: reproduces the paper's Figure 5 — bandwidth vs array size for
+// the four protocol configurations over the 155 Mbps ATM link model.
+//
+// Expected shape (paper §5): the three network series (nexus, glue+timeout,
+// glue+timeout+security) coincide — capability overhead vanishes under
+// network time — and saturate near the link rate at large sizes; shared
+// memory is over an order of magnitude faster.
+#include "bench_support.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+Figure5World& atm_world() {
+  static Figure5World world(netsim::atm_155());
+  return world;
+}
+
+void Fig5ATM_GlueTimeout(benchmark::State& state) {
+  static auto gp = atm_world().glue_timeout();
+  run_echo_series(state, gp);
+}
+
+void Fig5ATM_GlueTimeoutSecurity(benchmark::State& state) {
+  static auto gp = atm_world().glue_timeout_security();
+  run_echo_series(state, gp);
+}
+
+void Fig5ATM_Nexus(benchmark::State& state) {
+  static auto gp = atm_world().nexus();
+  run_echo_series(state, gp);
+}
+
+void Fig5ATM_SharedMemory(benchmark::State& state) {
+  static auto gp = atm_world().shm();
+  run_echo_series(state, gp);
+}
+
+void configure(benchmark::internal::Benchmark* bench) {
+  for (const std::int64_t n : figure5_sizes()) bench->Arg(n);
+  bench->UseManualTime()->Iterations(8);
+}
+
+BENCHMARK(Fig5ATM_GlueTimeout)->Apply(configure);
+BENCHMARK(Fig5ATM_GlueTimeoutSecurity)->Apply(configure);
+BENCHMARK(Fig5ATM_Nexus)->Apply(configure);
+BENCHMARK(Fig5ATM_SharedMemory)->Apply(configure);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

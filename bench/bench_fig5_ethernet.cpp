@@ -1,0 +1,48 @@
+// FIG5-ETH: the Ethernet twin of Figure 5.  The paper reports the Ethernet
+// results are "virtually identical" in shape to ATM — the same coincidence
+// of network series and the same shared-memory gap, with the plateau at the
+// (lower) Ethernet rate.
+#include "bench_support.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+Figure5World& ethernet_world() {
+  static Figure5World world(netsim::fast_ethernet_100());
+  return world;
+}
+
+void Fig5Eth_GlueTimeout(benchmark::State& state) {
+  static auto gp = ethernet_world().glue_timeout();
+  run_echo_series(state, gp);
+}
+
+void Fig5Eth_GlueTimeoutSecurity(benchmark::State& state) {
+  static auto gp = ethernet_world().glue_timeout_security();
+  run_echo_series(state, gp);
+}
+
+void Fig5Eth_Nexus(benchmark::State& state) {
+  static auto gp = ethernet_world().nexus();
+  run_echo_series(state, gp);
+}
+
+void Fig5Eth_SharedMemory(benchmark::State& state) {
+  static auto gp = ethernet_world().shm();
+  run_echo_series(state, gp);
+}
+
+void configure(benchmark::internal::Benchmark* bench) {
+  for (const std::int64_t n : figure5_sizes()) bench->Arg(n);
+  bench->UseManualTime()->Iterations(8);
+}
+
+BENCHMARK(Fig5Eth_GlueTimeout)->Apply(configure);
+BENCHMARK(Fig5Eth_GlueTimeoutSecurity)->Apply(configure);
+BENCHMARK(Fig5Eth_Nexus)->Apply(configure);
+BENCHMARK(Fig5Eth_SharedMemory)->Apply(configure);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// ABL-SIM: compute/communicate balance of the paper's motivating workload.
+//
+// A heat-diffusion simulation runs on the "supercomputer"; a client
+// repeatedly (a) advances the simulation and (b) fetches a map.  Swept
+// over client placement (same machine / LAN / WAN) and map resolution,
+// this shows when remote-access overhead matters for a real simulation:
+// step() is compute-bound and placement-insensitive, while fetch_map()
+// costs scale with the link — exactly the regime the capabilities model
+// targets (expensive WAN clients get compressed/guarded references,
+// local tools talk shm).
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "ohpx/scenario/heatsim.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+struct HeatWorld {
+  HeatWorld() {
+    const netsim::LanId lab = world.add_lan("lab");
+    const netsim::LanId remote = world.add_lan("remote");
+    world.topology().set_campus(lab, 0);
+    world.topology().set_campus(remote, 1);
+    world.topology().set_lan_link(lab, netsim::atm_155());
+    world.topology().set_default_wan_link(netsim::wan_t3());
+
+    bigiron = world.add_machine("bigiron", lab);
+    ws = world.add_machine("ws", lab);
+    wan_box = world.add_machine("wan-box", remote);
+
+    sim_ctx = &world.create_context(bigiron);
+    local_ctx = &world.create_context(bigiron);
+    lan_ctx = &world.create_context(ws);
+    wan_ctx = &world.create_context(wan_box);
+
+    auto servant = std::make_shared<scenario::HeatSimServant>();
+    servant->init(128, 128, 10.0);
+    servant->inject(64, 64, 900.0);
+    ref = orb::RefBuilder(*sim_ctx, servant).build();
+  }
+
+  orb::Context& context_for(int placement) {
+    switch (placement) {
+      case 0: return *local_ctx;
+      case 1: return *lan_ctx;
+      default: return *wan_ctx;
+    }
+  }
+
+  static const char* placement_name(int placement) {
+    switch (placement) {
+      case 0: return "same-machine";
+      case 1: return "same-lan";
+      default: return "wan";
+    }
+  }
+
+  runtime::World world;
+  netsim::MachineId bigiron{}, ws{}, wan_box{};
+  orb::Context* sim_ctx = nullptr;
+  orb::Context* local_ctx = nullptr;
+  orb::Context* lan_ctx = nullptr;
+  orb::Context* wan_ctx = nullptr;
+  orb::ObjectRef ref;
+};
+
+HeatWorld& heat_world() {
+  static HeatWorld world;
+  return world;
+}
+
+void Heat_Step(benchmark::State& state) {
+  auto& world = heat_world();
+  const int placement = static_cast<int>(state.range(0));
+  scenario::HeatSimPointer sim(world.context_for(placement), world.ref);
+  state.SetLabel(std::string(HeatWorld::placement_name(placement)) + " " +
+                 sim->probe_protocol());
+
+  for (auto _ : state) {
+    CostLedger ledger;
+    double residual =
+        sim->call_with_cost<double>(&ledger, scenario::HeatSimServant::kStep,
+                                    std::uint32_t{1});
+    benchmark::DoNotOptimize(residual);
+    state.SetIterationTime(ledger.total_seconds());
+  }
+}
+
+void Heat_FetchMap(benchmark::State& state) {
+  auto& world = heat_world();
+  const int placement = static_cast<int>(state.range(0));
+  const auto stride = static_cast<std::uint32_t>(state.range(1));
+  scenario::HeatSimPointer sim(world.context_for(placement), world.ref);
+  state.SetLabel(std::string(HeatWorld::placement_name(placement)) + " " +
+                 sim->probe_protocol());
+
+  double total_seconds = 0.0;
+  std::size_t map_cells = 0;
+  for (auto _ : state) {
+    CostLedger ledger;
+    auto map = sim->fetch_map_with_cost(ledger, stride);
+    map_cells = map.size();
+    benchmark::DoNotOptimize(map);
+    state.SetIterationTime(ledger.total_seconds());
+    total_seconds += ledger.total_seconds();
+  }
+  state.counters["cells"] = static_cast<double>(map_cells);
+  state.counters["maps_per_sec"] =
+      static_cast<double>(state.iterations()) / total_seconds;
+}
+
+BENCHMARK(Heat_Step)->Arg(0)->Arg(1)->Arg(2)->UseManualTime()->Iterations(8);
+BENCHMARK(Heat_FetchMap)
+    ->ArgsProduct({{0, 1, 2}, {1, 4, 16}})
+    ->UseManualTime()
+    ->Iterations(8);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

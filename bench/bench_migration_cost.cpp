@@ -1,0 +1,99 @@
+// ABL-MIG-COST: what a migration costs, as a function of object state size.
+//
+// The paper leans on cheap "pseudo migration"; this ablation quantifies
+// both modes on real state (heat-simulation grids):
+//   * migrate_shared — pointer hand-off + glue re-registration (O(1) in
+//     state size),
+//   * migrate_copy   — snapshot/restore through the type registry (O(n)),
+// and the post-migration first-call penalty (location re-resolve).
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "ohpx/runtime/migration.hpp"
+#include "ohpx/scenario/heatsim.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+struct MigrationWorld {
+  MigrationWorld() {
+    const netsim::LanId lan = world.add_lan("lan");
+    a = &world.create_context(world.add_machine("a", lan));
+    b = &world.create_context(world.add_machine("b", lan));
+    client = &world.create_context(world.add_machine("c", lan));
+    runtime::ServantTypeRegistry::instance()
+        .register_type<scenario::HeatSimServant>();
+  }
+
+  orb::ObjectRef spawn(std::uint32_t grid_side) {
+    auto servant = std::make_shared<scenario::HeatSimServant>();
+    servant->init(grid_side, grid_side, 10.0);
+    return orb::RefBuilder(*a, servant).build();
+  }
+
+  runtime::World world;
+  orb::Context* a = nullptr;
+  orb::Context* b = nullptr;
+  orb::Context* client = nullptr;
+};
+
+MigrationWorld& migration_world() {
+  static MigrationWorld world;
+  return world;
+}
+
+void Migrate_Shared(benchmark::State& state) {
+  auto& world = migration_world();
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const auto ref = world.spawn(side);
+
+  bool at_a = true;
+  for (auto _ : state) {
+    runtime::migrate_shared(ref.object_id(), at_a ? *world.a : *world.b,
+                            at_a ? *world.b : *world.a);
+    at_a = !at_a;
+  }
+  state.counters["state_bytes"] =
+      static_cast<double>(side) * side * sizeof(double);
+}
+
+void Migrate_Copy(benchmark::State& state) {
+  auto& world = migration_world();
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const auto ref = world.spawn(side);
+
+  bool at_a = true;
+  for (auto _ : state) {
+    runtime::migrate_copy(ref.object_id(), at_a ? *world.a : *world.b,
+                          at_a ? *world.b : *world.a);
+    at_a = !at_a;
+  }
+  state.counters["state_bytes"] =
+      static_cast<double>(side) * side * sizeof(double);
+}
+
+void Migrate_FirstCallAfterMove(benchmark::State& state) {
+  auto& world = migration_world();
+  const auto ref = world.spawn(64);
+  scenario::HeatSimPointer gp(*world.client, ref);
+  gp->sample(0, 0);  // warm
+
+  bool at_a = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::migrate_shared(ref.object_id(), at_a ? *world.a : *world.b,
+                            at_a ? *world.b : *world.a);
+    at_a = !at_a;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(gp->sample(0, 0));
+  }
+}
+
+BENCHMARK(Migrate_Shared)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(Migrate_Copy)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(Migrate_FirstCallAfterMove);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// ABL-NAME: naming-service costs — bind/resolve/list throughput over shm
+// and over the simulated LAN, plus the end-to-end cost of "resolve a name,
+// bind a pointer, make the first call" (the client bootstrap path).
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "ohpx/naming/name_service.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+struct NamingWorld {
+  NamingWorld() {
+    const netsim::LanId lan = world.add_lan("lan");
+    m_server = world.add_machine("server", lan);
+    m_client = world.add_machine("client", lan);
+    server_ctx = &world.create_context(m_server);
+    client_ctx = &world.create_context(m_client);
+    local_client_ctx = &world.create_context(m_server);
+    host = std::make_unique<naming::NameServiceHost>(*server_ctx);
+
+    echo_ref = orb::RefBuilder(*server_ctx,
+                               std::make_shared<scenario::EchoServant>())
+                   .build();
+    // Pre-populate the directory.
+    for (int i = 0; i < 1000; ++i) {
+      host->service().bind("svc/echo-" + std::to_string(i), echo_ref);
+    }
+  }
+
+  orb::Context& client_for(bool local) {
+    return local ? *local_client_ctx : *client_ctx;
+  }
+
+  runtime::World world;
+  netsim::MachineId m_server{}, m_client{};
+  orb::Context* server_ctx = nullptr;
+  orb::Context* client_ctx = nullptr;
+  orb::Context* local_client_ctx = nullptr;
+  std::unique_ptr<naming::NameServiceHost> host;
+  orb::ObjectRef echo_ref;
+};
+
+NamingWorld& naming_world() {
+  static NamingWorld world;
+  return world;
+}
+
+void Name_Resolve(benchmark::State& state) {
+  auto& world = naming_world();
+  const bool local = state.range(0) == 0;
+  naming::NameServiceStub names(world.client_for(local), world.host->ref());
+  state.SetLabel(local ? "shm" : "nexus-tcp");
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto ref = names.resolve("svc/echo-" + std::to_string(i++ % 1000));
+    benchmark::DoNotOptimize(ref);
+  }
+}
+
+void Name_List(benchmark::State& state) {
+  auto& world = naming_world();
+  naming::NameServiceStub names(world.client_for(true), world.host->ref());
+  for (auto _ : state) {
+    auto listing = names.list("svc/");
+    benchmark::DoNotOptimize(listing);
+  }
+  state.counters["entries"] = 1000;
+}
+
+void Name_BindUnbind(benchmark::State& state) {
+  auto& world = naming_world();
+  naming::NameServiceStub names(world.client_for(true), world.host->ref());
+  for (auto _ : state) {
+    names.bind("bench/tmp", world.echo_ref, /*rebind=*/true);
+    names.unbind("bench/tmp");
+  }
+}
+
+void Name_BootstrapFirstCall(benchmark::State& state) {
+  auto& world = naming_world();
+  for (auto _ : state) {
+    naming::NameServiceStub names(world.client_for(true), world.host->ref());
+    auto ref = names.resolve("svc/echo-0");
+    scenario::EchoPointer gp(world.client_for(true), ref);
+    benchmark::DoNotOptimize(gp->ping());
+  }
+}
+
+BENCHMARK(Name_Resolve)->Arg(0)->Arg(1);
+BENCHMARK(Name_List);
+BENCHMARK(Name_BindUnbind);
+BENCHMARK(Name_BootstrapFirstCall);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

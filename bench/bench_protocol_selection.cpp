@@ -1,0 +1,87 @@
+// ABL-SEL: cost of automatic run-time protocol selection (paper §3.2:
+// selection happens "for each individual remote request", so it must be
+// cheap).  Sweeps the OR protocol-table size and measures (a) pure
+// selection and (b) selection + location resolution via probe_protocol.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "ohpx/protocol/registry.hpp"
+#include "ohpx/protocol/select.hpp"
+
+namespace ohpx::bench {
+namespace {
+
+struct SelectionWorld {
+  SelectionWorld() {
+    const netsim::LanId lan = world.add_lan("lan");
+    m_client = world.add_machine("M0", lan);
+    m_server = world.add_machine("M1", lan);
+    client_ctx = &world.create_context(m_client);
+    server_ctx = &world.create_context(m_server);
+  }
+
+  /// OR table with `extra` leading glue entries that are never applicable
+  /// (scope=never quota), forcing the selector to walk the table.
+  orb::ObjectRef ref_with_table_size(int extra) {
+    orb::RefBuilder builder(*server_ctx,
+                            std::make_shared<scenario::EchoServant>());
+    for (int i = 0; i < extra; ++i) {
+      builder.glue({std::make_shared<cap::QuotaCapability>(
+                       1ull << 30, cap::Scope::never)},
+                   "nexus-tcp");
+    }
+    builder.nexus();
+    return builder.build();
+  }
+
+  runtime::World world;
+  netsim::MachineId m_client{}, m_server{};
+  orb::Context* client_ctx = nullptr;
+  orb::Context* server_ctx = nullptr;
+};
+
+SelectionWorld& selection_world() {
+  static SelectionWorld world;
+  return world;
+}
+
+void SelectionWalk(benchmark::State& state) {
+  auto& world = selection_world();
+  const int extra = static_cast<int>(state.range(0));
+  const auto ref = world.ref_with_table_size(extra);
+  const auto protocols =
+      proto::ProtocolRegistry::instance().instantiate_table(ref.table());
+
+  proto::CallTarget target;
+  target.address = *world.world.location().resolve(ref.object_id());
+  target.placement = netsim::Placement{world.m_client, target.address.machine,
+                                       &world.world.topology()};
+
+  for (auto _ : state) {
+    proto::Protocol* selected =
+        proto::select_protocol(protocols, world.client_ctx->pool(), target);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.counters["table_size"] = extra + 1;
+}
+
+void SelectionWithResolve(benchmark::State& state) {
+  auto& world = selection_world();
+  const int extra = static_cast<int>(state.range(0));
+  const auto ref = world.ref_with_table_size(extra);
+  scenario::EchoStub stub(*world.client_ctx, ref);
+
+  for (auto _ : state) {
+    auto name = stub.probe_protocol();
+    benchmark::DoNotOptimize(name);
+  }
+  state.counters["table_size"] = extra + 1;
+}
+
+BENCHMARK(SelectionWalk)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Arg(15);
+BENCHMARK(SelectionWithResolve)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Arg(15);
+
+}  // namespace
+}  // namespace ohpx::bench
+
+BENCHMARK_MAIN();

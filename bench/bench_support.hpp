@@ -1,0 +1,61 @@
+// Shared scaffolding for the benchmark suite.
+//
+// The Figure 5 benches reproduce the paper's bandwidth-vs-size experiment:
+// a client exchanges arrays of int32 with a server over four protocol
+// configurations, sizes 1 … 1M elements.  Time per call is the hybrid cost
+// model (real CPU time for marshalling/capabilities + modeled wire time for
+// the simulated link — DESIGN.md §7); google-benchmark consumes it through
+// SetIterationTime/UseManualTime, so the reported "time" and bandwidth are
+// the modeled-network numbers, deterministic across runs.
+//
+// Bandwidth convention: bytes counted in both directions (request payload +
+// reply payload), matching a saturation plateau at the link rate.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ohpx/scenario/figure5.hpp"
+
+namespace ohpx::bench {
+
+using scenario::Figure5World;
+
+/// Array sizes (int32 elements): 1 … 1M in powers of 4, as in Figure 5's
+/// log-log sweep.
+inline std::vector<std::int64_t> figure5_sizes() {
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t n = 1; n <= (1 << 20); n *= 4) sizes.push_back(n);
+  return sizes;
+}
+
+/// Runs the echo exchange for `state` with the hybrid cost model feeding
+/// google-benchmark's manual time, and reports Mbps (both directions).
+inline void run_echo_series(benchmark::State& state,
+                            scenario::EchoPointer& gp) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int32_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<std::int32_t>(i);
+
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    CostLedger ledger;
+    auto reply = gp->echo_with_cost(ledger, values);
+    benchmark::DoNotOptimize(reply);
+    const double seconds = ledger.total_seconds();
+    state.SetIterationTime(seconds);
+    total_seconds += seconds;
+  }
+
+  const double bytes_per_iter = 2.0 * 4.0 * static_cast<double>(n);
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      bytes_per_iter * static_cast<double>(state.iterations())));
+  const double mbps = bytes_per_iter * 8.0 *
+                      static_cast<double>(state.iterations()) /
+                      (total_seconds * 1e6);
+  state.counters["Mbps"] = mbps;
+  state.counters["bytes"] = bytes_per_iter / 2.0;  // one-way payload size
+}
+
+}  // namespace ohpx::bench

@@ -1,0 +1,78 @@
+// Offline delegation: the lab mints one delegable reference for a partner;
+// the partner re-delegates narrower references to subcontractors without
+// ever contacting the lab.  Caveats only shrink: nobody downstream can
+// widen access, and forged or stripped tokens are refused by the lab's
+// verifier.
+//
+// Build & run:  ./build/examples/delegated_access
+#include <cstdio>
+
+#include "ohpx/ohpx.hpp"
+#include "ohpx/orb/attenuate.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+using namespace ohpx;
+
+namespace {
+
+void attempt(const char* who, const char* what,
+             const std::function<void()>& action) {
+  try {
+    action();
+    std::printf("%-13s %-28s allowed\n", who, what);
+  } catch (const CapabilityDenied& e) {
+    std::printf("%-13s %-28s refused (%s)\n", who, what, e.what());
+  }
+}
+
+}  // namespace
+
+int main() {
+  runtime::World world;
+  const netsim::LanId lan = world.add_lan("lan");
+  orb::Context& lab_ctx = world.create_context(world.add_machine("lab", lan));
+  orb::Context& partner_ctx =
+      world.create_context(world.add_machine("partner", lan));
+  orb::Context& sub_ctx =
+      world.create_context(world.add_machine("subcontractor", lan));
+
+  // The lab mints a delegable reference.  Method ids on the Echo service:
+  // echo=1, sum=2, ping=3, reverse=4, fail=5.
+  auto root = cap::DelegationCapability::make_root(
+      crypto::Key128::from_passphrase("lab-root"));
+  orb::ObjectRef lab_ref =
+      orb::RefBuilder(lab_ctx, std::make_shared<scenario::EchoServant>())
+          .glue({root})
+          .build();
+
+  // Partner receives the full reference and may use everything.
+  scenario::EchoPointer partner(partner_ctx, lab_ref);
+  attempt("partner", "reverse (method 4)", [&] { partner->reverse("abcd"); });
+
+  // Partner re-delegates, offline, restricted to read-only queries
+  // (methods 1-3) with small payloads.
+  orb::ObjectRef sub_ref = orb::attenuate_reference(
+      orb::attenuate_reference(lab_ref, "method<=3"), "size<=64");
+  std::printf("\npartner minted a sub-reference with caveats "
+              "[method<=3, size<=64] — no lab round-trip\n\n");
+
+  scenario::EchoPointer sub(sub_ctx, sub_ref);
+  attempt("subcontractor", "ping (method 3)", [&] { sub->ping(); });
+  attempt("subcontractor", "reverse (method 4)", [&] { sub->reverse("abcd"); });
+  attempt("subcontractor", "big echo (payload>64)", [&] {
+    sub->echo(std::vector<std::int32_t>(100, 1));
+  });
+
+  // The subcontractor cannot widen its own access.
+  try {
+    orb::attenuate_reference(sub_ref, "method<=999");
+    scenario::EchoPointer cheat(
+        sub_ctx, orb::attenuate_reference(sub_ref, "method<=999"));
+    cheat->reverse("x");
+    std::printf("\n!! widening succeeded — this must not happen\n");
+  } catch (const CapabilityDenied&) {
+    std::printf("\nwidening attempt correctly refused: caveats only stack, "
+                "method<=3 still binds\n");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Runnable walk-through of the paper's Figure 4 experiment: a server
+// object pseudo-migrates M1 → M2 → M3 → M0 while one client on M0 keeps
+// calling through the same global pointer.  At every stage the ORB
+// re-selects the best applicable protocol from the OR's table:
+//
+//   M1 (remote campus)      -> glue[timeout+security] over nexus-tcp
+//   M2 (same campus)        -> glue[timeout] over nexus-tcp
+//   M3 (same LAN)           -> plain nexus-tcp
+//   M0 (same machine)       -> shared memory
+//
+// Build & run:  ./build/examples/migration_adaptive
+#include <cstdio>
+
+#include "ohpx/ohpx.hpp"
+#include "ohpx/scenario/figure4.hpp"
+
+using namespace ohpx;
+
+namespace {
+
+void measure_stage(scenario::Figure4Scenario& fig, scenario::EchoPointer& gp,
+                   const char* stage) {
+  std::vector<std::int32_t> payload(64 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::int32_t>(i);
+  }
+
+  CostLedger ledger;
+  auto reply = gp->echo_with_cost(ledger, payload);
+  const double seconds = ledger.total_seconds();
+  const double mbps =
+      2.0 * 4.0 * static_cast<double>(payload.size()) * 8.0 / (seconds * 1e6);
+
+  std::printf("%-22s server on %-3s  protocol %-42s  %8.2f Mbps\n", stage,
+              fig.world().topology().machine_name(fig.server_machine()).c_str(),
+              gp->last_protocol().c_str(), mbps);
+  if (reply != payload) std::printf("  !! echo mismatch\n");
+}
+
+}  // namespace
+
+int main() {
+  scenario::Figure4Scenario fig(netsim::atm_155(), netsim::wan_t3());
+  scenario::EchoPointer gp = fig.client_pointer();
+
+  std::printf("client runs on M0; OR protocol table: "
+              "[glue[timeout,security], glue[timeout], shm, nexus-tcp]\n\n");
+
+  measure_stage(fig, gp, "stage 1 (start)");
+
+  fig.migrate_to(fig.m2());
+  measure_stage(fig, gp, "stage 3 (after mig 1)");
+
+  fig.migrate_to(fig.m3());
+  measure_stage(fig, gp, "stage 5 (after mig 2)");
+
+  fig.migrate_to(fig.m0());
+  measure_stage(fig, gp, "stage 7 (after mig 3)");
+
+  std::printf("\nthe same global pointer adapted through four protocols "
+              "without any client-side change.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Naming-service walk-through: a server publishes differently-guarded
+// references to one object under well-known names; clients bootstrap from
+// the directory's reference and resolve what they are entitled to.
+//
+// Build & run:  ./build/examples/name_service
+#include <cstdio>
+
+#include "ohpx/ohpx.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+using namespace ohpx;
+
+int main() {
+  runtime::World world;
+  const netsim::LanId lan = world.add_lan("lan");
+  const netsim::MachineId m_server = world.add_machine("server", lan);
+  const netsim::MachineId m_client = world.add_machine("client", lan);
+  orb::Context& server_ctx = world.create_context(m_server);
+  orb::Context& client_ctx = world.create_context(m_client);
+
+  // The directory itself is a remote object.
+  naming::NameServiceHost directory(server_ctx);
+
+  // One echo object, three published access policies.
+  auto servant = std::make_shared<scenario::EchoServant>();
+  const orb::ObjectRef full =
+      orb::RefBuilder(server_ctx, servant).build();
+  const orb::ObjectRef metered =
+      orb::RefBuilder(server_ctx, full.object_id())
+          .glue({std::make_shared<cap::QuotaCapability>(2)})
+          .build();
+  const orb::ObjectRef sealed =
+      orb::RefBuilder(server_ctx, full.object_id())
+          .glue({std::make_shared<cap::EncryptionCapability>(
+                     crypto::Key128::from_passphrase("sealed")),
+                 std::make_shared<cap::ChecksumCapability>()})
+          .build();
+
+  directory.service().bind("echo/full", full);
+  directory.service().bind("echo/metered", metered);
+  directory.service().bind("echo/sealed", sealed);
+
+  // A client boots from the directory's serialized reference alone.
+  naming::NamePointer names =
+      naming::NamePointer::from_bytes(client_ctx, directory.ref().to_bytes());
+
+  std::printf("directory lists under echo/:\n");
+  for (const auto& name : names->list("echo/")) {
+    std::printf("  %s\n", name.c_str());
+  }
+
+  scenario::EchoPointer full_client(client_ctx, names->resolve("echo/full"));
+  const std::string reversed = full_client->reverse("named");
+  std::printf("echo/full:    reverse(\"named\") = %s  via %s\n",
+              reversed.c_str(), full_client->last_protocol().c_str());
+
+  scenario::EchoPointer sealed_client(client_ctx, names->resolve("echo/sealed"));
+  const auto ping = sealed_client->ping();
+  std::printf("echo/sealed:  ping = %llu  via %s\n",
+              static_cast<unsigned long long>(ping),
+              sealed_client->last_protocol().c_str());
+
+  scenario::EchoPointer metered_client(client_ctx,
+                                       names->resolve("echo/metered"));
+  metered_client->ping();
+  metered_client->ping();
+  try {
+    metered_client->ping();
+  } catch (const CapabilityDenied& e) {
+    std::printf("echo/metered: third call refused (%s)\n", e.what());
+  }
+  return 0;
+}

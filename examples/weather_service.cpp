@@ -1,0 +1,234 @@
+// The paper's §1 motivating scenario, end to end: "a large environmental
+// simulation running on a multi-processor supercomputer at a national lab"
+// serving very different client classes:
+//
+//   * a local analysis tool on the lab's own LAN — full interface, no
+//     authentication, no encryption;
+//   * a university client across the Internet — authenticated + encrypted
+//     on every request;
+//   * a commercial client that paid for a fixed number of map fetches — a
+//     call quota;
+//   * a subscriber with time-limited access — a lease;
+//   * a public kiosk that may only read the text summary — a restricted
+//     facade interface.
+//
+// Each class is just a different OR minted for the same simulation object
+// (plus one facade servant), demonstrating per-reference access policy.
+//
+// Build & run:  ./build/examples/weather_service
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "ohpx/ohpx.hpp"
+
+namespace {
+
+using namespace ohpx;
+
+// ---- the simulation servant ------------------------------------------------
+
+class WeatherServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "WeatherSim";
+  enum Method : std::uint32_t {
+    kGetMap = 1,    // (region: string, cells: u32) -> vector<f64>
+    kFeedData = 2,  // (readings: vector<f64>) -> u64 (total samples)
+    kSummary = 3,   // () -> string
+  };
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override {
+    switch (method_id) {
+      case kGetMap: {
+        auto [region, cells] = orb::unmarshal<std::string, std::uint32_t>(in);
+        std::vector<double> grid(cells);
+        // A toy "simulation": deterministic pseudo-weather per region.
+        std::uint64_t h = 1469598103934665603ull;
+        for (char c : region) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+        for (std::uint32_t i = 0; i < cells; ++i) {
+          grid[i] = 15.0 + static_cast<double>((h + i * 2654435761ull) % 200) / 10.0;
+        }
+        orb::marshal_result(out, grid);
+        return;
+      }
+      case kFeedData: {
+        auto [readings] = orb::unmarshal<std::vector<double>>(in);
+        samples_ += readings.size();
+        orb::marshal_result(out, samples_);
+        return;
+      }
+      case kSummary:
+        orb::marshal_result(out,
+                            std::string("forecast: scattered clouds, ") +
+                                std::to_string(samples_) + " samples assimilated");
+        return;
+      default:
+        orb::unknown_method(kTypeName, method_id);
+    }
+  }
+
+ private:
+  std::uint64_t samples_ = 0;
+};
+
+class WeatherStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = WeatherServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  std::vector<double> get_map(const std::string& region, std::uint32_t cells) {
+    return call<std::vector<double>>(WeatherServant::kGetMap, region, cells);
+  }
+  std::uint64_t feed_data(const std::vector<double>& readings) {
+    return call<std::uint64_t>(WeatherServant::kFeedData, readings);
+  }
+  std::string summary() { return call<std::string>(WeatherServant::kSummary); }
+};
+
+// ---- restricted facade: summary only ---------------------------------------
+
+class WeatherKioskServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "WeatherKiosk";
+  enum Method : std::uint32_t { kSummary = 1 };
+
+  explicit WeatherKioskServant(std::shared_ptr<WeatherServant> backend)
+      : backend_(std::move(backend)) {}
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override {
+    if (method_id != kSummary) orb::unknown_method(kTypeName, method_id);
+    // Forward to the full servant's summary method only.
+    backend_->dispatch(WeatherServant::kSummary, in, out);
+  }
+
+ private:
+  std::shared_ptr<WeatherServant> backend_;
+};
+
+class WeatherKioskStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = WeatherKioskServant::kTypeName;
+  using ObjectStub::ObjectStub;
+  std::string summary() {
+    return call<std::string>(WeatherKioskServant::kSummary);
+  }
+};
+
+void banner(const char* text) { std::printf("\n== %s ==\n", text); }
+
+}  // namespace
+
+int main() {
+  // Topology: the lab's LAN (campus 0) and a university LAN across the
+  // Internet (campus 1).
+  runtime::World world;
+  const netsim::LanId lab_lan = world.add_lan("lab");
+  const netsim::LanId uni_lan = world.add_lan("university");
+  world.topology().set_campus(lab_lan, 0);
+  world.topology().set_campus(uni_lan, 1);
+  world.topology().set_lan_link(lab_lan, netsim::atm_155());
+  world.topology().set_lan_link(uni_lan, netsim::fast_ethernet_100());
+  world.topology().set_default_wan_link(netsim::wan_t3());
+
+  const netsim::MachineId supercomputer = world.add_machine("bigiron", lab_lan);
+  const netsim::MachineId lab_workstation = world.add_machine("ws-17", lab_lan);
+  const netsim::MachineId uni_box = world.add_machine("uni-cluster", uni_lan);
+
+  orb::Context& sim_ctx = world.create_context(supercomputer);
+  orb::Context& lab_ctx = world.create_context(lab_workstation);
+  orb::Context& uni_ctx = world.create_context(uni_box);
+
+  auto sim = std::make_shared<WeatherServant>();
+  const orb::ObjectId sim_id = sim_ctx.activate(sim);
+
+  const crypto::Key128 uni_key = crypto::Key128::from_passphrase("uni-secret");
+
+  // ---- per-client references ----------------------------------------------
+
+  // Local lab client: plain reference, full interface.
+  orb::ObjectRef lab_ref = orb::RefBuilder(sim_ctx, sim_id).build();
+
+  // University client: authenticated + encrypted on every request, but only
+  // when traffic actually crosses campuses (scope = cross_campus).
+  orb::ObjectRef uni_ref =
+      orb::RefBuilder(sim_ctx, sim_id)
+          .glue({std::make_shared<cap::AuthenticationCapability>(
+                     uni_key, "uni-client", cap::Scope::cross_campus),
+                 std::make_shared<cap::EncryptionCapability>(
+                     uni_key, cap::Scope::cross_campus)},
+                "nexus-tcp")
+          .shm()
+          .nexus()
+          .build();
+
+  // Commercial client: 3 paid map fetches.
+  orb::ObjectRef paid_ref =
+      orb::RefBuilder(sim_ctx, sim_id)
+          .glue({std::make_shared<cap::QuotaCapability>(3)})
+          .build();
+
+  // Subscriber: 150 ms of access.
+  orb::ObjectRef lease_ref =
+      orb::RefBuilder(sim_ctx, sim_id)
+          .glue({std::make_shared<cap::LeaseCapability>(
+              std::chrono::milliseconds(150))})
+          .build();
+
+  // Public kiosk: separate facade object, summary only.
+  orb::ObjectRef kiosk_ref =
+      orb::RefBuilder(sim_ctx, std::make_shared<WeatherKioskServant>(sim))
+          .build();
+
+  // ---- the client classes in action ---------------------------------------
+
+  banner("local lab client (trusted, full interface)");
+  orb::GlobalPointer<WeatherStub> lab_client(lab_ctx, lab_ref);
+  lab_client->feed_data({21.3, 20.9, 22.1, 19.8});
+  auto map = lab_client->get_map("bloomington", 16);
+  std::printf("map[0..3] = %.1f %.1f %.1f %.1f  via %s\n", map[0], map[1],
+              map[2], map[3], lab_client->last_protocol().c_str());
+
+  banner("university client (authenticated + encrypted across the WAN)");
+  orb::GlobalPointer<WeatherStub> uni_client(uni_ctx, uni_ref);
+  map = uni_client->get_map("indianapolis", 8);
+  std::printf("map[0] = %.1f  via %s\n", map[0],
+              uni_client->last_protocol().c_str());
+
+  banner("commercial client (3 paid fetches)");
+  orb::GlobalPointer<WeatherStub> paid_client(uni_ctx, paid_ref);
+  for (int i = 1; i <= 4; ++i) {
+    try {
+      paid_client->get_map("chicago", 4);
+      std::printf("fetch %d ok\n", i);
+    } catch (const CapabilityDenied& e) {
+      std::printf("fetch %d refused: %s\n", i, e.what());
+    }
+  }
+
+  banner("subscriber (150 ms lease)");
+  orb::GlobalPointer<WeatherStub> subscriber(lab_ctx, lease_ref);
+  std::printf("within lease: %zu cells\n",
+              subscriber->get_map("gary", 4).size());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  try {
+    subscriber->get_map("gary", 4);
+  } catch (const CapabilityDenied& e) {
+    std::printf("after lease: %s\n", e.what());
+  }
+
+  banner("public kiosk (restricted facade)");
+  orb::GlobalPointer<WeatherKioskStub> kiosk(uni_ctx, kiosk_ref);
+  std::printf("%s\n", kiosk->summary().c_str());
+
+  banner("what the ORB observed (metrics)");
+  std::printf("%s", metrics::format_snapshot(
+                        metrics::MetricsRegistry::global().snapshot())
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "ohpx/capability/builtin/audit.hpp"
+
+namespace ohpx::cap {
+
+AuditCapability::AuditCapability(std::size_t max_records)
+    : max_records_(max_records) {}
+
+void AuditCapability::record(const wire::Buffer& payload,
+                             const CallContext& call) {
+  std::lock_guard lock(mutex_);
+  ++total_;
+  records_.push_back(AuditRecord{call.request_id, call.object_id,
+                                 call.method_id, call.direction,
+                                 payload.size()});
+  while (records_.size() > max_records_) records_.pop_front();
+}
+
+void AuditCapability::process(wire::Buffer& payload, const CallContext& call) {
+  record(payload, call);
+}
+
+void AuditCapability::unprocess(wire::Buffer& payload, const CallContext& call) {
+  record(payload, call);
+}
+
+std::vector<AuditRecord> AuditCapability::records() const {
+  std::lock_guard lock(mutex_);
+  return std::vector<AuditRecord>(records_.begin(), records_.end());
+}
+
+std::uint64_t AuditCapability::total_calls() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+CapabilityDescriptor AuditCapability::descriptor() const {
+  CapabilityDescriptor d;
+  d.kind = "audit";
+  d.params["max_records"] = std::to_string(max_records_);
+  return d;
+}
+
+CapabilityPtr AuditCapability::from_descriptor(
+    const CapabilityDescriptor& descriptor) {
+  const unsigned long long max_records =
+      std::stoull(descriptor.get_or("max_records", "1024"));
+  return std::make_shared<AuditCapability>(max_records);
+}
+
+}  // namespace ohpx::cap

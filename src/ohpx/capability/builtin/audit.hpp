@@ -1,0 +1,47 @@
+// Audit capability: records every call that passes through it (request id,
+// object, method, direction, payload size) in a bounded in-memory ring.
+// Payload passes through untouched.  The server-side copy gives operators a
+// per-reference access log — an "access restriction" attribute in the
+// paper's §1 taxonomy.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "ohpx/capability/capability.hpp"
+
+namespace ohpx::cap {
+
+struct AuditRecord {
+  std::uint64_t request_id = 0;
+  std::uint64_t object_id = 0;
+  std::uint32_t method_id = 0;
+  Direction direction = Direction::request;
+  std::uint64_t payload_size = 0;
+};
+
+class AuditCapability final : public Capability {
+ public:
+  explicit AuditCapability(std::size_t max_records = 1024);
+
+  std::string_view kind() const noexcept override { return "audit"; }
+  void process(wire::Buffer& payload, const CallContext& call) override;
+  void unprocess(wire::Buffer& payload, const CallContext& call) override;
+  CapabilityDescriptor descriptor() const override;
+
+  std::vector<AuditRecord> records() const;
+  std::uint64_t total_calls() const;
+
+  static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
+
+ private:
+  void record(const wire::Buffer& payload, const CallContext& call);
+
+  std::size_t max_records_;
+  mutable std::mutex mutex_;
+  std::deque<AuditRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ohpx::cap

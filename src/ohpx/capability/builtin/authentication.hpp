@@ -1,0 +1,45 @@
+// Authentication capability (paper §4.3's example: a server that requires
+// all clients outside its LAN to authenticate every remote request).
+//
+// process() appends an 8-byte SipHash-2-4 tag over (payload ‖ call
+// binding); unprocess() verifies and strips it, throwing
+// CapabilityDenied(capability_auth_failed) on mismatch.  The call binding
+// (request id, object id, direction) is mixed into the MAC so a tag cannot
+// be replayed on a different call.
+//
+// Default scope is cross_lan — exactly the paper's adaptive behaviour:
+// after the server migrates onto the client's LAN the capability stops
+// applying and the glue protocol carrying it is skipped.
+#pragma once
+
+#include "ohpx/capability/capability.hpp"
+#include "ohpx/capability/scope.hpp"
+#include "ohpx/crypto/key.hpp"
+
+namespace ohpx::cap {
+
+class AuthenticationCapability final : public Capability {
+ public:
+  explicit AuthenticationCapability(crypto::Key128 key,
+                                    std::string principal = "anonymous",
+                                    Scope scope = Scope::cross_lan);
+
+  std::string_view kind() const noexcept override { return "authentication"; }
+  bool applicable(const netsim::Placement& placement) const override;
+  void process(wire::Buffer& payload, const CallContext& call) override;
+  void unprocess(wire::Buffer& payload, const CallContext& call) override;
+  CapabilityDescriptor descriptor() const override;
+
+  const std::string& principal() const noexcept { return principal_; }
+
+  static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
+
+ private:
+  Bytes call_binding(const CallContext& call) const;
+
+  crypto::Key128 key_;
+  std::string principal_;
+  Scope scope_;
+};
+
+}  // namespace ohpx::cap

@@ -1,0 +1,56 @@
+#include "ohpx/capability/builtin/checksum.hpp"
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/wire/crc.hpp"
+
+namespace ohpx::cap {
+
+ChecksumCapability::ChecksumCapability(Scope scope) : scope_(scope) {}
+
+bool ChecksumCapability::applicable(const netsim::Placement& placement) const {
+  return scope_applies(scope_, placement);
+}
+
+void ChecksumCapability::process(wire::Buffer& payload, const CallContext& call) {
+  (void)call;
+  const std::uint32_t crc = wire::crc32(payload.view());
+  payload.append(static_cast<std::uint8_t>(crc >> 24));
+  payload.append(static_cast<std::uint8_t>(crc >> 16));
+  payload.append(static_cast<std::uint8_t>(crc >> 8));
+  payload.append(static_cast<std::uint8_t>(crc));
+}
+
+void ChecksumCapability::unprocess(wire::Buffer& payload, const CallContext& call) {
+  (void)call;
+  if (payload.size() < 4) {
+    throw CapabilityDenied(ErrorCode::capability_bad_payload,
+                           "payload too short for checksum");
+  }
+  const std::size_t body_size = payload.size() - 4;
+  const BytesView tail = payload.view(body_size, 4);
+  const std::uint32_t stored = (static_cast<std::uint32_t>(tail[0]) << 24) |
+                               (static_cast<std::uint32_t>(tail[1]) << 16) |
+                               (static_cast<std::uint32_t>(tail[2]) << 8) |
+                               static_cast<std::uint32_t>(tail[3]);
+  const std::uint32_t computed = wire::crc32(payload.view(0, body_size));
+  if (stored != computed) {
+    throw CapabilityDenied(ErrorCode::capability_bad_payload,
+                           "payload checksum mismatch");
+  }
+  payload.resize(body_size);
+}
+
+CapabilityDescriptor ChecksumCapability::descriptor() const {
+  CapabilityDescriptor d;
+  d.kind = "checksum";
+  d.params["scope"] = std::string(to_string(scope_));
+  return d;
+}
+
+CapabilityPtr ChecksumCapability::from_descriptor(
+    const CapabilityDescriptor& descriptor) {
+  const Scope scope = scope_from_string(descriptor.get_or("scope", "always"));
+  return std::make_shared<ChecksumCapability>(scope);
+}
+
+}  // namespace ohpx::cap

@@ -1,0 +1,59 @@
+#include "ohpx/capability/builtin/compression.hpp"
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx::cap {
+namespace {
+
+compress::CodecId codec_from_name(const std::string& name) {
+  if (name == "identity") return compress::CodecId::identity;
+  if (name == "rle") return compress::CodecId::rle;
+  if (name == "lz77" || name == "lz") return compress::CodecId::lz;
+  throw CapabilityDenied(ErrorCode::capability_bad_payload,
+                         "unknown compression codec: " + name);
+}
+
+}  // namespace
+
+CompressionCapability::CompressionCapability(compress::CodecId codec, Scope scope)
+    : codec_(compress::make_codec(codec)), scope_(scope) {}
+
+bool CompressionCapability::applicable(const netsim::Placement& placement) const {
+  return scope_applies(scope_, placement);
+}
+
+void CompressionCapability::process(wire::Buffer& payload,
+                                    const CallContext& call) {
+  (void)call;
+  payload.assign(codec_->compress(payload.view()));
+}
+
+void CompressionCapability::unprocess(wire::Buffer& payload,
+                                      const CallContext& call) {
+  (void)call;
+  try {
+    payload.assign(codec_->decompress(payload.view()));
+  } catch (const WireError& e) {
+    throw CapabilityDenied(ErrorCode::capability_bad_payload,
+                           std::string("compressed payload malformed: ") +
+                               e.what());
+  }
+}
+
+CapabilityDescriptor CompressionCapability::descriptor() const {
+  CapabilityDescriptor d;
+  d.kind = "compression";
+  d.params["codec"] = std::string(codec_->name());
+  d.params["scope"] = std::string(to_string(scope_));
+  return d;
+}
+
+CapabilityPtr CompressionCapability::from_descriptor(
+    const CapabilityDescriptor& descriptor) {
+  const compress::CodecId codec =
+      codec_from_name(descriptor.get_or("codec", "lz77"));
+  const Scope scope = scope_from_string(descriptor.get_or("scope", "always"));
+  return std::make_shared<CompressionCapability>(codec, scope);
+}
+
+}  // namespace ohpx::cap

@@ -1,0 +1,81 @@
+// Delegation capability: macaroon-style attenuated bearer tokens.
+//
+// The paper emphasizes that capabilities — unlike OIP "illities" bound to
+// a thread — travel with references between processes (§4, §6).  This
+// capability pushes that to its natural conclusion: the *holder* of a
+// reference can mint a further-restricted reference for a third party
+// without contacting the server.
+//
+// Construction (the classic macaroon fold):
+//   token_0 = MAC(root_key, "ohpx-delegation")
+//   token_i = MAC(key(token_{i-1}), caveat_i)
+// A bearer holds (caveats..., token_n) but never the root key; adding a
+// caveat requires only the current token, so attenuation is offline.  The
+// server (the only root-key holder) re-folds from the root and compares in
+// constant time, then enforces every caveat — unknown caveats fail closed.
+//
+// Supported caveats:
+//   method<=N       method id at most N
+//   method in a,b   method id in the list
+//   size<=N         request payload at most N bytes
+//
+// Roles: the server-side copy is the *verifier* (holds the root key); the
+// client-side copies are *bearers*.  A bearer's descriptor carries only
+// caveats + token; the verifier's public descriptor() does the same (so
+// ORs never leak the root), while server_descriptor() — used when glue
+// bindings migrate between contexts — carries the root key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ohpx/capability/capability.hpp"
+#include "ohpx/crypto/key.hpp"
+
+namespace ohpx::cap {
+
+class DelegationCapability final : public Capability {
+ public:
+  /// Verifier: mints the root of a delegation chain.
+  static std::shared_ptr<DelegationCapability> make_root(crypto::Key128 root_key);
+
+  /// Bearer: holds an attenuated token.
+  static std::shared_ptr<DelegationCapability> make_bearer(
+      std::vector<std::string> caveats, Bytes token);
+
+  std::string_view kind() const noexcept override { return "delegation"; }
+  void process(wire::Buffer& payload, const CallContext& call) override;
+  void unprocess(wire::Buffer& payload, const CallContext& call) override;
+  CapabilityDescriptor descriptor() const override;
+  CapabilityDescriptor server_descriptor() const override;
+
+  /// Offline attenuation: narrows this capability with one more caveat.
+  /// Works for bearers (macaroon fold) and for the root holder.
+  std::shared_ptr<DelegationCapability> attenuate(const std::string& caveat) const;
+
+  bool is_verifier() const noexcept { return is_verifier_; }
+  const std::vector<std::string>& caveats() const noexcept { return caveats_; }
+  const Bytes& token() const noexcept { return token_; }
+
+  static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
+
+ private:
+  DelegationCapability() = default;
+
+  /// Fold the MAC chain from the root key over `caveats`.
+  static Bytes fold(const crypto::Key128& root_key,
+                    const std::vector<std::string>& caveats);
+
+  /// One attenuation step: token' = MAC(key(token), caveat).
+  static Bytes fold_step(const Bytes& token, const std::string& caveat);
+
+  void enforce_caveat(const std::string& caveat, const wire::Buffer& payload,
+                      const CallContext& call) const;
+
+  bool is_verifier_ = false;
+  crypto::Key128 root_key_{};          // verifier only
+  std::vector<std::string> caveats_;   // bearer: accumulated restrictions
+  Bytes token_;                        // bearer: current fold value
+};
+
+}  // namespace ohpx::cap

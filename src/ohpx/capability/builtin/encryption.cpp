@@ -1,0 +1,39 @@
+#include "ohpx/capability/builtin/encryption.hpp"
+
+#include "ohpx/crypto/stream_cipher.hpp"
+
+namespace ohpx::cap {
+
+EncryptionCapability::EncryptionCapability(crypto::Key128 key, Scope scope)
+    : key_(key), scope_(scope) {}
+
+bool EncryptionCapability::applicable(const netsim::Placement& placement) const {
+  return scope_applies(scope_, placement);
+}
+
+void EncryptionCapability::process(wire::Buffer& payload,
+                                   const CallContext& call) {
+  crypto::stream_crypt(key_, call.nonce(), payload.mutable_view());
+}
+
+void EncryptionCapability::unprocess(wire::Buffer& payload,
+                                     const CallContext& call) {
+  crypto::stream_crypt(key_, call.nonce(), payload.mutable_view());
+}
+
+CapabilityDescriptor EncryptionCapability::descriptor() const {
+  CapabilityDescriptor d;
+  d.kind = "encryption";
+  d.params["key"] = key_.to_hex();
+  d.params["scope"] = std::string(to_string(scope_));
+  return d;
+}
+
+CapabilityPtr EncryptionCapability::from_descriptor(
+    const CapabilityDescriptor& descriptor) {
+  const crypto::Key128 key = crypto::Key128::from_hex(descriptor.require("key"));
+  const Scope scope = scope_from_string(descriptor.get_or("scope", "always"));
+  return std::make_shared<EncryptionCapability>(key, scope);
+}
+
+}  // namespace ohpx::cap

@@ -1,0 +1,33 @@
+// Encryption capability (paper Figure 2's "C1, a capability that encrypts
+// the data transferred between the client and the server").
+//
+// process() XORs a keystream derived from (key, per-call nonce) over the
+// payload in place; unprocess() applies the same stream, restoring the
+// plaintext.  Both sides derive the nonce from the call context so no
+// extra bytes travel on the wire.
+#pragma once
+
+#include "ohpx/capability/capability.hpp"
+#include "ohpx/capability/scope.hpp"
+#include "ohpx/crypto/key.hpp"
+
+namespace ohpx::cap {
+
+class EncryptionCapability final : public Capability {
+ public:
+  explicit EncryptionCapability(crypto::Key128 key, Scope scope = Scope::always);
+
+  std::string_view kind() const noexcept override { return "encryption"; }
+  bool applicable(const netsim::Placement& placement) const override;
+  void process(wire::Buffer& payload, const CallContext& call) override;
+  void unprocess(wire::Buffer& payload, const CallContext& call) override;
+  CapabilityDescriptor descriptor() const override;
+
+  static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
+
+ private:
+  crypto::Key128 key_;
+  Scope scope_;
+};
+
+}  // namespace ohpx::cap

@@ -1,0 +1,60 @@
+#include "ohpx/capability/builtin/fault.hpp"
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx::cap {
+
+FaultCapability::FaultCapability(std::uint32_t fail_every)
+    : fail_every_(fail_every) {
+  if (fail_every_ == 0) {
+    throw CapabilityDenied(ErrorCode::capability_bad_payload,
+                           "fault capability needs fail_every >= 1");
+  }
+}
+
+void FaultCapability::admit(const CallContext& call) {
+  if (call.direction != Direction::request) return;
+  const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % fail_every_ == 0) {
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    throw CapabilityDenied(ErrorCode::capability_denied,
+                           "injected fault (request " + std::to_string(n) +
+                               ")");
+  }
+}
+
+void FaultCapability::process(wire::Buffer& payload, const CallContext& call) {
+  (void)payload;
+  (void)call;
+}
+
+void FaultCapability::unprocess(wire::Buffer& payload, const CallContext& call) {
+  (void)payload;
+  (void)call;
+}
+
+std::uint64_t FaultCapability::admitted() const noexcept {
+  return seen_.load(std::memory_order_relaxed) -
+         refused_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultCapability::refused() const noexcept {
+  return refused_.load(std::memory_order_relaxed);
+}
+
+CapabilityDescriptor FaultCapability::descriptor() const {
+  CapabilityDescriptor d;
+  d.kind = "fault";
+  d.params["fail_every"] = std::to_string(fail_every_);
+  return d;
+}
+
+CapabilityPtr FaultCapability::from_descriptor(
+    const CapabilityDescriptor& descriptor) {
+  const unsigned long long fail_every =
+      std::stoull(descriptor.require("fail_every"));
+  return std::make_shared<FaultCapability>(
+      static_cast<std::uint32_t>(fail_every));
+}
+
+}  // namespace ohpx::cap

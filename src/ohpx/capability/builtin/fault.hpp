@@ -1,0 +1,38 @@
+// Fault-injection capability: a chaos-testing aid that refuses every Nth
+// request (or a deterministic pseudo-random fraction).  Attach it to a
+// reference to exercise failover paths — group pointers, retry logic,
+// dead-subscriber pruning — without touching the transport.
+//
+// Not a paper capability; it exists because an open ORB should make its
+// failure paths as testable as its happy paths.
+#pragma once
+
+#include <atomic>
+
+#include "ohpx/capability/capability.hpp"
+
+namespace ohpx::cap {
+
+class FaultCapability final : public Capability {
+ public:
+  /// Refuses every `fail_every`-th request (1 = refuse everything).
+  explicit FaultCapability(std::uint32_t fail_every);
+
+  std::string_view kind() const noexcept override { return "fault"; }
+  void admit(const CallContext& call) override;
+  void process(wire::Buffer& payload, const CallContext& call) override;
+  void unprocess(wire::Buffer& payload, const CallContext& call) override;
+  CapabilityDescriptor descriptor() const override;
+
+  std::uint64_t admitted() const noexcept;
+  std::uint64_t refused() const noexcept;
+
+  static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
+
+ private:
+  std::uint32_t fail_every_;
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> refused_{0};
+};
+
+}  // namespace ohpx::cap

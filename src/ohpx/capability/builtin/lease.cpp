@@ -1,0 +1,63 @@
+#include "ohpx/capability/builtin/lease.hpp"
+
+#include <algorithm>
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx::cap {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+LeaseCapability::LeaseCapability(milliseconds ttl, Scope scope)
+    : expiry_(steady_clock::now() + ttl), scope_(scope) {}
+
+bool LeaseCapability::applicable(const netsim::Placement& placement) const {
+  return scope_applies(scope_, placement);
+}
+
+bool LeaseCapability::expired() const noexcept {
+  return steady_clock::now() >= expiry_;
+}
+
+milliseconds LeaseCapability::remaining() const noexcept {
+  const auto now = steady_clock::now();
+  if (now >= expiry_) return milliseconds(0);
+  return std::chrono::duration_cast<milliseconds>(expiry_ - now);
+}
+
+void LeaseCapability::admit(const CallContext& call) {
+  // Replies ride on the admission already granted to their request.
+  if (call.direction != Direction::request) return;
+  if (expired()) {
+    throw CapabilityDenied(ErrorCode::capability_expired, "lease expired");
+  }
+}
+
+void LeaseCapability::process(wire::Buffer& payload, const CallContext& call) {
+  (void)payload;
+  (void)call;
+}
+
+void LeaseCapability::unprocess(wire::Buffer& payload, const CallContext& call) {
+  (void)payload;
+  (void)call;
+}
+
+CapabilityDescriptor LeaseCapability::descriptor() const {
+  CapabilityDescriptor d;
+  d.kind = "lease";
+  d.params["ttl_ms"] = std::to_string(remaining().count());
+  d.params["scope"] = std::string(to_string(scope_));
+  return d;
+}
+
+CapabilityPtr LeaseCapability::from_descriptor(
+    const CapabilityDescriptor& descriptor) {
+  const long long ttl = std::stoll(descriptor.require("ttl_ms"));
+  const Scope scope = scope_from_string(descriptor.get_or("scope", "always"));
+  return std::make_shared<LeaseCapability>(milliseconds(std::max(0LL, ttl)),
+                                           scope);
+}
+
+}  // namespace ohpx::cap

@@ -1,0 +1,39 @@
+// Lease capability: time-limited access.  The paper's §1 motivates it with
+// clients "given access to the weather data only for the time they have
+// paid for".  Admission fails with capability_expired once the lease runs
+// out; the payload passes through untouched.
+//
+// When a lease is serialized into a descriptor the *remaining* time is
+// recorded, so a lease handed to another process keeps ticking from the
+// moment of transfer.
+#pragma once
+
+#include <chrono>
+
+#include "ohpx/capability/capability.hpp"
+#include "ohpx/capability/scope.hpp"
+
+namespace ohpx::cap {
+
+class LeaseCapability final : public Capability {
+ public:
+  explicit LeaseCapability(std::chrono::milliseconds ttl, Scope scope = Scope::always);
+
+  std::string_view kind() const noexcept override { return "lease"; }
+  bool applicable(const netsim::Placement& placement) const override;
+  void admit(const CallContext& call) override;
+  void process(wire::Buffer& payload, const CallContext& call) override;
+  void unprocess(wire::Buffer& payload, const CallContext& call) override;
+  CapabilityDescriptor descriptor() const override;
+
+  bool expired() const noexcept;
+  std::chrono::milliseconds remaining() const noexcept;
+
+  static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
+
+ private:
+  std::chrono::steady_clock::time_point expiry_;
+  Scope scope_;
+};
+
+}  // namespace ohpx::cap

@@ -1,0 +1,37 @@
+// Rate-limit capability: token-bucket admission, another QoS attribute of
+// the kind the paper's §1 enumerates.  Refuses requests (capability_denied)
+// when the bucket is empty; tokens refill continuously at `rate_per_sec`.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+#include "ohpx/capability/capability.hpp"
+
+namespace ohpx::cap {
+
+class RateLimitCapability final : public Capability {
+ public:
+  RateLimitCapability(double rate_per_sec, double burst);
+
+  std::string_view kind() const noexcept override { return "ratelimit"; }
+  void admit(const CallContext& call) override;
+  void process(wire::Buffer& payload, const CallContext& call) override;
+  void unprocess(wire::Buffer& payload, const CallContext& call) override;
+  CapabilityDescriptor descriptor() const override;
+
+  double tokens() const;
+
+  static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
+
+ private:
+  void refill_locked();
+
+  double rate_per_sec_;
+  double burst_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+};
+
+}  // namespace ohpx::cap

@@ -1,0 +1,35 @@
+#include "ohpx/capability/capability.hpp"
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::cap {
+
+void CapabilityDescriptor::wire_serialize(wire::Encoder& enc) const {
+  wire::serialize(enc, kind);
+  wire::serialize(enc, params);
+}
+
+CapabilityDescriptor CapabilityDescriptor::wire_deserialize(wire::Decoder& dec) {
+  CapabilityDescriptor d;
+  d.kind = wire::deserialize<std::string>(dec);
+  d.params = wire::deserialize<std::map<std::string, std::string>>(dec);
+  return d;
+}
+
+const std::string& CapabilityDescriptor::require(const std::string& name) const {
+  const auto it = params.find(name);
+  if (it == params.end()) {
+    throw CapabilityDenied(ErrorCode::capability_bad_payload,
+                           "capability '" + kind + "' missing param '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string CapabilityDescriptor::get_or(const std::string& name,
+                                         std::string fallback) const {
+  const auto it = params.find(name);
+  return it == params.end() ? std::move(fallback) : it->second;
+}
+
+}  // namespace ohpx::cap

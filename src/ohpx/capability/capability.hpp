@@ -1,0 +1,105 @@
+// Remote access capabilities (paper §4).
+//
+// A capability encapsulates one attribute of remote access — encryption,
+// authentication, compression, a lease, a call quota, auditing — as an
+// opaque byte-processor plus an admission check.  Capabilities are held in
+// order by a *glue protocol* (src/ohpx/protocol/glue.*): the sender runs
+// process() front-to-back over the outgoing payload, the receiver runs
+// unprocess() back-to-front, so the chain composes like function
+// application.
+//
+// Capabilities are exchangeable between processes: descriptor() lowers a
+// capability to a serializable CapabilityDescriptor (kind + string params)
+// that travels inside object references, and the CapabilityRegistry
+// re-instantiates it on the other side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ohpx/netsim/topology.hpp"
+#include "ohpx/wire/buffer.hpp"
+#include "ohpx/wire/decoder.hpp"
+#include "ohpx/wire/encoder.hpp"
+
+namespace ohpx::cap {
+
+enum class Direction : std::uint8_t { request = 0, reply = 1 };
+
+/// Everything a capability may consult about the call in flight.
+struct CallContext {
+  std::uint64_t request_id = 0;
+  std::uint64_t object_id = 0;
+  std::uint32_t method_id = 0;
+  Direction direction = Direction::request;
+  netsim::Placement placement;
+
+  /// Deterministic per-call nonce both sides can derive (cipher seeding).
+  std::uint64_t nonce() const noexcept {
+    return request_id * 2 + (direction == Direction::reply ? 1 : 0);
+  }
+};
+
+/// Serializable form of a capability: registry kind + string parameters.
+struct CapabilityDescriptor {
+  std::string kind;
+  std::map<std::string, std::string> params;
+
+  void wire_serialize(wire::Encoder& enc) const;
+  static CapabilityDescriptor wire_deserialize(wire::Decoder& dec);
+
+  /// Fetches a parameter or throws CapabilityDenied(capability_bad_payload).
+  const std::string& require(const std::string& name) const;
+
+  /// Fetches a parameter with a fallback.
+  std::string get_or(const std::string& name, std::string fallback) const;
+
+  friend bool operator==(const CapabilityDescriptor&,
+                         const CapabilityDescriptor&) = default;
+};
+
+class Capability {
+ public:
+  virtual ~Capability() = default;
+
+  /// Registry kind, e.g. "encryption" — stable across processes.
+  virtual std::string_view kind() const noexcept = 0;
+
+  /// Whether this capability applies for the given client/server placement
+  /// (paper §4.3: an authentication capability may apply only across LANs).
+  /// Non-applicable capabilities make their whole glue protocol
+  /// non-applicable (glue applicability = AND of its capabilities').
+  virtual bool applicable(const netsim::Placement& placement) const {
+    (void)placement;
+    return true;
+  }
+
+  /// Admission check run before the payload transform — leases, quotas and
+  /// rate limits live here.  Throws CapabilityDenied to refuse the call.
+  virtual void admit(const CallContext& call) { (void)call; }
+
+  /// Transforms an outgoing payload in place (sender side).
+  virtual void process(wire::Buffer& payload, const CallContext& call) = 0;
+
+  /// Inverse of process (receiver side).  Throws CapabilityDenied when
+  /// verification fails (bad MAC, bad checksum, malformed payload).
+  virtual void unprocess(wire::Buffer& payload, const CallContext& call) = 0;
+
+  /// Lowers to the exchangeable descriptor form — what travels inside
+  /// object references to build *client-side* copies.  Must never contain
+  /// server-only secrets.
+  virtual CapabilityDescriptor descriptor() const = 0;
+
+  /// Descriptor used when the *server-side* copy itself moves (glue
+  /// bindings following a migrating object).  Defaults to descriptor();
+  /// capabilities with server-only state (e.g. delegation root keys)
+  /// override it.
+  virtual CapabilityDescriptor server_descriptor() const { return descriptor(); }
+};
+
+using CapabilityPtr = std::shared_ptr<Capability>;
+
+}  // namespace ohpx::cap

@@ -1,0 +1,59 @@
+#include "ohpx/capability/chain.hpp"
+
+namespace ohpx::cap {
+
+bool CapabilityChain::applicable(const netsim::Placement& placement) const {
+  for (const auto& capability : capabilities_) {
+    if (!capability->applicable(placement)) return false;
+  }
+  return true;
+}
+
+void CapabilityChain::process_outbound(wire::Buffer& payload,
+                                       const CallContext& call) {
+  for (const auto& capability : capabilities_) {
+    capability->admit(call);
+  }
+  for (const auto& capability : capabilities_) {
+    capability->process(payload, call);
+  }
+}
+
+void CapabilityChain::process_inbound(wire::Buffer& payload,
+                                      const CallContext& call) {
+  for (auto it = capabilities_.rbegin(); it != capabilities_.rend(); ++it) {
+    (*it)->unprocess(payload, call);
+  }
+  for (const auto& capability : capabilities_) {
+    capability->admit(call);
+  }
+}
+
+std::vector<CapabilityDescriptor> CapabilityChain::descriptors() const {
+  std::vector<CapabilityDescriptor> out;
+  out.reserve(capabilities_.size());
+  for (const auto& capability : capabilities_) {
+    out.push_back(capability->descriptor());
+  }
+  return out;
+}
+
+std::vector<CapabilityDescriptor> CapabilityChain::server_descriptors() const {
+  std::vector<CapabilityDescriptor> out;
+  out.reserve(capabilities_.size());
+  for (const auto& capability : capabilities_) {
+    out.push_back(capability->server_descriptor());
+  }
+  return out;
+}
+
+std::string CapabilityChain::describe() const {
+  std::string out;
+  for (const auto& capability : capabilities_) {
+    if (!out.empty()) out += ",";
+    out += capability->kind();
+  }
+  return out;
+}
+
+}  // namespace ohpx::cap

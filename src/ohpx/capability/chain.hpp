@@ -1,0 +1,54 @@
+// Ordered capability chain — the processing core of a glue protocol.
+//
+// Sender: admit() every capability, then process() front-to-back.
+// Receiver: unprocess() back-to-front (exactly the paper's "un-process the
+// request in the reverse order of the processing done on the client side"),
+// then admit checks that belong on the receiving side already ran inside
+// unprocess-time admission (see process_inbound).
+#pragma once
+
+#include <vector>
+
+#include "ohpx/capability/capability.hpp"
+
+namespace ohpx::cap {
+
+class CapabilityChain {
+ public:
+  CapabilityChain() = default;
+  explicit CapabilityChain(std::vector<CapabilityPtr> capabilities)
+      : capabilities_(std::move(capabilities)) {}
+
+  void add(CapabilityPtr capability) {
+    capabilities_.push_back(std::move(capability));
+  }
+
+  std::size_t size() const noexcept { return capabilities_.size(); }
+  bool empty() const noexcept { return capabilities_.empty(); }
+  const std::vector<CapabilityPtr>& capabilities() const noexcept {
+    return capabilities_;
+  }
+
+  /// AND of all member applicabilities (paper §4.3).
+  bool applicable(const netsim::Placement& placement) const;
+
+  /// Sender side: admission checks then forward-order process().
+  void process_outbound(wire::Buffer& payload, const CallContext& call);
+
+  /// Receiver side: admission checks then reverse-order unprocess().
+  void process_inbound(wire::Buffer& payload, const CallContext& call);
+
+  /// Descriptors of all members, in chain order (for OR proto-data).
+  std::vector<CapabilityDescriptor> descriptors() const;
+
+  /// Server-side descriptors (migration transfer); may contain secrets.
+  std::vector<CapabilityDescriptor> server_descriptors() const;
+
+  /// Comma-separated kinds, for logs ("encryption,quota").
+  std::string describe() const;
+
+ private:
+  std::vector<CapabilityPtr> capabilities_;
+};
+
+}  // namespace ohpx::cap

@@ -1,0 +1,48 @@
+// Capability factory registry: maps a descriptor's `kind` string to a
+// constructor.  This is what makes capabilities exchangeable between
+// processes (paper §4): a serialized descriptor arriving inside an object
+// reference is re-instantiated here.  All built-ins self-register; user
+// capabilities register at startup with register_factory().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ohpx/capability/capability.hpp"
+#include "ohpx/capability/chain.hpp"
+
+namespace ohpx::cap {
+
+using CapabilityFactory =
+    std::function<CapabilityPtr(const CapabilityDescriptor&)>;
+
+class CapabilityRegistry {
+ public:
+  /// Process-wide registry, pre-loaded with the built-in kinds.
+  static CapabilityRegistry& instance();
+
+  /// Registers (or replaces) a factory for `kind`.
+  void register_factory(const std::string& kind, CapabilityFactory factory);
+
+  bool contains(const std::string& kind) const;
+  std::vector<std::string> kinds() const;
+
+  /// Instantiates a capability from its descriptor; throws
+  /// CapabilityDenied(capability_unknown) for unregistered kinds.
+  CapabilityPtr instantiate(const CapabilityDescriptor& descriptor) const;
+
+  /// Instantiates a whole chain from descriptors, preserving order.
+  CapabilityChain instantiate_chain(
+      const std::vector<CapabilityDescriptor>& descriptors) const;
+
+ private:
+  CapabilityRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, CapabilityFactory> factories_;
+};
+
+}  // namespace ohpx::cap

@@ -1,0 +1,60 @@
+#include "ohpx/common/bytes.hpp"
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw WireError(ErrorCode::wire_bad_value, "hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit(hex[i]);
+    const int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw WireError(ErrorCode::wire_bad_value, "invalid hex digit");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string text_of(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+bool constant_time_equal(BytesView a, BytesView b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace ohpx

@@ -1,0 +1,32 @@
+// Byte-level helpers shared across the stack: the canonical byte container,
+// hex encoding, and constant-time comparison for MAC verification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ohpx {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lower-case hex encoding of `data`.
+std::string to_hex(BytesView data);
+
+/// Parses lower/upper-case hex; throws WireError(wire_bad_value) on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Builds Bytes from a string's raw characters.
+Bytes bytes_of(std::string_view text);
+
+/// Interprets bytes as text (no validation).
+std::string text_of(BytesView data);
+
+/// Constant-time equality, resistant to timing side channels; used for MACs.
+bool constant_time_equal(BytesView a, BytesView b) noexcept;
+
+}  // namespace ohpx

@@ -1,0 +1,84 @@
+// Time accounting for the hybrid real/modeled cost model.
+//
+// Benchmarks in this repo combine *real* CPU time (marshalling, capability
+// byte-processing) with *modeled* network time (latency + bytes/bandwidth of
+// a simulated link).  A CostLedger accumulates both halves per invocation so
+// harnesses can report bandwidth as bytes / (real + modeled) — see DESIGN.md
+// §7 "Time accounting".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ohpx {
+
+using Nanoseconds = std::chrono::nanoseconds;
+
+/// Monotonic stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  Nanoseconds elapsed() const {
+    return std::chrono::duration_cast<Nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+  }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-invocation cost accumulator: real CPU time plus modeled link time.
+class CostLedger {
+ public:
+  void add_real(Nanoseconds d) noexcept { real_ += d; }
+  void add_modeled(Nanoseconds d) noexcept { modeled_ += d; }
+  void add_bytes_sent(std::uint64_t n) noexcept { bytes_sent_ += n; }
+  void add_bytes_received(std::uint64_t n) noexcept { bytes_received_ += n; }
+
+  Nanoseconds real() const noexcept { return real_; }
+  Nanoseconds modeled() const noexcept { return modeled_; }
+  Nanoseconds total() const noexcept { return real_ + modeled_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+
+  double total_seconds() const noexcept {
+    return std::chrono::duration<double>(total()).count();
+  }
+
+  void merge(const CostLedger& other) noexcept {
+    real_ += other.real_;
+    modeled_ += other.modeled_;
+    bytes_sent_ += other.bytes_sent_;
+    bytes_received_ += other.bytes_received_;
+  }
+
+  void reset() noexcept { *this = CostLedger{}; }
+
+ private:
+  Nanoseconds real_{0};
+  Nanoseconds modeled_{0};
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// RAII helper: adds the scope's wall time to a ledger's real component.
+class ScopedRealTime {
+ public:
+  explicit ScopedRealTime(CostLedger& ledger) : ledger_(ledger) {}
+  ScopedRealTime(const ScopedRealTime&) = delete;
+  ScopedRealTime& operator=(const ScopedRealTime&) = delete;
+  ~ScopedRealTime() { ledger_.add_real(watch_.elapsed()); }
+
+ private:
+  CostLedger& ledger_;
+  Stopwatch watch_;
+};
+
+}  // namespace ohpx

@@ -1,0 +1,53 @@
+#include "ohpx/common/error.hpp"
+
+namespace ohpx {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::ok: return "ok";
+    case ErrorCode::wire_truncated: return "wire_truncated";
+    case ErrorCode::wire_bad_magic: return "wire_bad_magic";
+    case ErrorCode::wire_bad_version: return "wire_bad_version";
+    case ErrorCode::wire_bad_checksum: return "wire_bad_checksum";
+    case ErrorCode::wire_overflow: return "wire_overflow";
+    case ErrorCode::wire_bad_value: return "wire_bad_value";
+    case ErrorCode::transport_closed: return "transport_closed";
+    case ErrorCode::transport_connect_failed: return "transport_connect_failed";
+    case ErrorCode::transport_io: return "transport_io";
+    case ErrorCode::transport_unknown_endpoint: return "transport_unknown_endpoint";
+    case ErrorCode::protocol_unknown: return "protocol_unknown";
+    case ErrorCode::protocol_not_applicable: return "protocol_not_applicable";
+    case ErrorCode::protocol_no_match: return "protocol_no_match";
+    case ErrorCode::protocol_bad_proto_data: return "protocol_bad_proto_data";
+    case ErrorCode::capability_denied: return "capability_denied";
+    case ErrorCode::capability_expired: return "capability_expired";
+    case ErrorCode::capability_exhausted: return "capability_exhausted";
+    case ErrorCode::capability_auth_failed: return "capability_auth_failed";
+    case ErrorCode::capability_unknown: return "capability_unknown";
+    case ErrorCode::capability_bad_payload: return "capability_bad_payload";
+    case ErrorCode::object_not_found: return "object_not_found";
+    case ErrorCode::method_not_found: return "method_not_found";
+    case ErrorCode::stale_reference: return "stale_reference";
+    case ErrorCode::bad_object_ref: return "bad_object_ref";
+    case ErrorCode::context_not_found: return "context_not_found";
+    case ErrorCode::type_mismatch: return "type_mismatch";
+    case ErrorCode::migration_failed: return "migration_failed";
+    case ErrorCode::not_migratable: return "not_migratable";
+    case ErrorCode::remote_application_error: return "remote_application_error";
+    case ErrorCode::internal: return "internal";
+  }
+  return "unknown";
+}
+
+void throw_error(ErrorCode code, const std::string& message) {
+  const auto value = static_cast<std::uint32_t>(code);
+  if (value >= 100 && value < 200) throw WireError(code, message);
+  if (value >= 200 && value < 300) throw TransportError(code, message);
+  if (value >= 300 && value < 400) throw ProtocolError(code, message);
+  if (value >= 400 && value < 500) throw CapabilityDenied(code, message);
+  if (value >= 500 && value < 600) throw ObjectError(code, message);
+  if (value == 700) throw RemoteError(code, message);
+  throw Error(code, message);
+}
+
+}  // namespace ohpx

@@ -1,0 +1,52 @@
+#include "ohpx/common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ohpx {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::warn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace log_detail {
+
+void emit(LogLevel level, std::string_view component, const std::string& message) {
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%10lld.%03lld] %s [%.*s] %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               message.c_str());
+}
+
+}  // namespace log_detail
+}  // namespace ohpx

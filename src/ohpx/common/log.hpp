@@ -1,0 +1,52 @@
+// Minimal leveled, thread-safe logger.  Default level is `warn` so library
+// users see problems but tests and benchmarks stay quiet; examples raise it
+// to `info` to narrate protocol selection decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ohpx {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+namespace log_detail {
+void emit(LogLevel level, std::string_view component, const std::string& message);
+}
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Streams a log line for `component` if `level` passes the threshold.
+template <typename... Args>
+void log(LogLevel level, std::string_view component, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  log_detail::emit(level, component, oss.str());
+}
+
+template <typename... Args>
+void log_trace(std::string_view component, Args&&... args) {
+  log(LogLevel::trace, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(std::string_view component, Args&&... args) {
+  log(LogLevel::debug, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(std::string_view component, Args&&... args) {
+  log(LogLevel::info, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(std::string_view component, Args&&... args) {
+  log(LogLevel::warn, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(std::string_view component, Args&&... args) {
+  log(LogLevel::error, component, std::forward<Args>(args)...);
+}
+
+}  // namespace ohpx

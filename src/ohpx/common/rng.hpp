@@ -1,0 +1,67 @@
+// Deterministic pseudo-random generators used for keys, nonces and test
+// workloads.  SplitMix64 seeds Xoshiro256**; both are from-scratch, public
+// domain constructions.  Not cryptographically strong — the security
+// capabilities in this repo model the paper's opaque byte-processors, they
+// are not a production cipher suite (see DESIGN.md §2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ohpx {
+
+/// SplitMix64: stateless-feeling 64-bit mixer, good for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 mixer(seed);
+    for (auto& word : state_) word = mixer.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ohpx

@@ -1,0 +1,64 @@
+#include "ohpx/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    queue_.clear();
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw Error(ErrorCode::internal, "thread pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(4);
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ohpx

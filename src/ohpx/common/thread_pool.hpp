@@ -1,0 +1,60 @@
+// Fixed-size thread pool used for concurrent fan-out (group broadcasts,
+// parallel clients in benchmarks).  Tasks are plain functions; async()
+// wraps a callable into a packaged task and returns its future.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ohpx {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains nothing: pending tasks are abandoned unexecuted at shutdown,
+  /// but tasks already running are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; throws Error(internal) after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename F>
+  auto async(F&& callable) -> std::future<std::invoke_result_t<F>> {
+    using Ret = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<Ret()>>(
+        std::forward<F>(callable));
+    std::future<Ret> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+  std::size_t pending() const;
+
+  /// Process-wide shared pool (4 workers — enough to overlap I/O-shaped
+  /// work even on small machines, bounded so fan-outs cannot fork-bomb).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ohpx

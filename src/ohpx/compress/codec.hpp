@@ -1,0 +1,54 @@
+// Compression codecs used by the compression capability.
+//
+// Wire format of every codec's output:
+//   u8  codec id
+//   u32 original size (big-endian)
+//   ... codec-specific token stream
+// Decompression is fully bounds-checked and throws WireError on malformed
+// input; it never writes more than the declared original size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "ohpx/common/bytes.hpp"
+
+namespace ohpx::compress {
+
+enum class CodecId : std::uint8_t {
+  identity = 0,
+  rle = 1,
+  lz = 2,
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const noexcept = 0;
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Compresses `input`; output always carries the codec header.
+  virtual Bytes compress(BytesView input) const = 0;
+
+  /// Inverse of compress; throws WireError on malformed input.
+  virtual Bytes decompress(BytesView input) const = 0;
+};
+
+/// Codec that stores the input verbatim (baseline / fallback).
+std::unique_ptr<Codec> make_identity_codec();
+
+/// Byte-run-length codec: wins on highly repetitive payloads.
+std::unique_ptr<Codec> make_rle_codec();
+
+/// LZ77 codec with a 64 KiB window and hash-chain match finder.
+std::unique_ptr<Codec> make_lz_codec();
+
+/// Factory by id (used when decoding capability descriptors).
+std::unique_ptr<Codec> make_codec(CodecId id);
+
+/// Reads the codec id of a compressed blob without decompressing.
+CodecId peek_codec(BytesView compressed);
+
+}  // namespace ohpx::compress

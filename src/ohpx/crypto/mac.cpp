@@ -1,0 +1,83 @@
+#include "ohpx/crypto/mac.hpp"
+
+namespace ohpx::crypto {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+              std::uint64_t& v3) noexcept {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const Key128& key, BytesView data) noexcept {
+  const std::uint64_t k0 = key.lo();
+  const std::uint64_t k1 = key.hi();
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t n = data.size();
+  const std::size_t end = n - (n % 8);
+  for (std::size_t i = 0; i < end; i += 8) {
+    std::uint64_t m = 0;
+    for (int b = 7; b >= 0; --b) {
+      m = (m << 8) | data[i + static_cast<std::size_t>(b)];
+    }
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(n & 0xff) << 56;
+  for (std::size_t i = end, shift = 0; i < n; ++i, shift += 8) {
+    last |= static_cast<std::uint64_t>(data[i]) << shift;
+  }
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+Bytes mac_tag(const Key128& key, BytesView data) {
+  const std::uint64_t h = siphash24(key, data);
+  Bytes tag(kMacTagSize);
+  for (std::size_t i = 0; i < kMacTagSize; ++i) {
+    tag[i] = static_cast<std::uint8_t>(h >> (8 * i));
+  }
+  return tag;
+}
+
+bool mac_verify(const Key128& key, BytesView data, BytesView tag) noexcept {
+  if (tag.size() != kMacTagSize) return false;
+  const Bytes expected = mac_tag(key, data);
+  return constant_time_equal(expected, tag);
+}
+
+}  // namespace ohpx::crypto

@@ -1,0 +1,24 @@
+// SipHash-2-4 message authentication code (Aumasson & Bernstein), built
+// from scratch.  Used by the authentication capability to tag each request
+// with an 8-byte MAC the server side verifies before dispatch.
+#pragma once
+
+#include <cstdint>
+
+#include "ohpx/common/bytes.hpp"
+#include "ohpx/crypto/key.hpp"
+
+namespace ohpx::crypto {
+
+/// SipHash-2-4 of `data` under `key`.
+std::uint64_t siphash24(const Key128& key, BytesView data) noexcept;
+
+/// 8-byte little-endian encoding of siphash24 — the wire form of a MAC tag.
+Bytes mac_tag(const Key128& key, BytesView data);
+
+/// Constant-time verification of a wire tag.
+bool mac_verify(const Key128& key, BytesView data, BytesView tag) noexcept;
+
+inline constexpr std::size_t kMacTagSize = 8;
+
+}  // namespace ohpx::crypto

@@ -1,0 +1,61 @@
+#include "ohpx/crypto/stream_cipher.hpp"
+
+namespace ohpx::crypto {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+StreamCipher::StreamCipher(const Key128& key, std::uint64_t nonce) noexcept {
+  std::uint64_t seed = key.lo() ^ rotl(key.hi(), 31) ^ (nonce * 0xda942042e4dd58b5ULL);
+  for (auto& word : state_) word = splitmix(seed);
+}
+
+std::uint64_t StreamCipher::next_word() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void StreamCipher::apply(std::span<std::uint8_t> data) noexcept {
+  std::size_t i = 0;
+  // Whole 8-byte blocks.
+  for (; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t ks = next_word();
+    for (int b = 0; b < 8; ++b) {
+      data[i + static_cast<std::size_t>(b)] ^=
+          static_cast<std::uint8_t>(ks >> (8 * b));
+    }
+  }
+  // Tail.
+  if (i < data.size()) {
+    const std::uint64_t ks = next_word();
+    for (int b = 0; i < data.size(); ++i, ++b) {
+      data[i] ^= static_cast<std::uint8_t>(ks >> (8 * b));
+    }
+  }
+}
+
+void stream_crypt(const Key128& key, std::uint64_t nonce,
+                  std::span<std::uint8_t> data) noexcept {
+  StreamCipher cipher(key, nonce);
+  cipher.apply(data);
+}
+
+}  // namespace ohpx::crypto

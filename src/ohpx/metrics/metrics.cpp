@@ -1,0 +1,139 @@
+#include "ohpx/metrics/metrics.hpp"
+
+#include <memory>
+#include <sstream>
+#include <iomanip>
+
+namespace ohpx::metrics {
+namespace {
+
+std::size_t bucket_for(Nanoseconds duration) noexcept {
+  const std::uint64_t us = static_cast<std::uint64_t>(duration.count()) / 1000;
+  std::size_t bucket = 0;
+  std::uint64_t bound = 2;
+  while (bucket + 1 < LatencyHistogram::kBuckets && us >= bound) {
+    bound <<= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(Nanoseconds duration) noexcept {
+  std::lock_guard lock(mutex_);
+  ++buckets_[bucket_for(duration)];
+  ++count_;
+  total_ += duration;
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+Nanoseconds LatencyHistogram::total() const noexcept {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+Nanoseconds LatencyHistogram::mean() const noexcept {
+  std::lock_guard lock(mutex_);
+  if (count_ == 0) return Nanoseconds(0);
+  return Nanoseconds(total_.count() / static_cast<std::int64_t>(count_));
+}
+
+std::uint64_t LatencyHistogram::approximate_quantile_us(
+    double quantile) const noexcept {
+  std::lock_guard lock(mutex_);
+  if (count_ == 0) return 0;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(quantile * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  std::uint64_t bound = 2;
+  for (std::size_t i = 0; i < kBuckets; ++i, bound <<= 1) {
+    seen += buckets_[i];
+    if (seen > target) return bound;
+  }
+  return bound;
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::buckets() const noexcept {
+  std::lock_guard lock(mutex_);
+  return buckets_;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::increment(const std::string& name, std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::record_latency(const std::string& name,
+                                     Nanoseconds duration) {
+  LatencyHistogram* histogram = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    histogram = slot.get();
+  }
+  histogram->record(duration);
+}
+
+const LatencyHistogram* MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  for (const auto& [name, histogram] : histograms_) {
+    snap.latency_counts[name] = histogram->count();
+    snap.latency_mean_us[name] =
+        std::chrono::duration<double, std::micro>(histogram->mean()).count();
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string format_snapshot(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "counters:\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "  " << std::left << std::setw(44) << name << std::right
+        << std::setw(12) << value << "\n";
+  }
+  if (!snapshot.latency_counts.empty()) {
+    out << "latencies:\n";
+    for (const auto& [name, count] : snapshot.latency_counts) {
+      out << "  " << std::left << std::setw(44) << name << std::right
+          << std::setw(12) << count << " samples, mean " << std::fixed
+          << std::setprecision(1) << snapshot.latency_mean_us.at(name)
+          << " us\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ohpx::metrics

@@ -1,0 +1,92 @@
+// Lightweight metrics: named counters and fixed-bucket latency histograms,
+// plus a per-registry snapshot for reporting.  The invocation layer and
+// server pipeline can be pointed at a MetricsRegistry to account calls per
+// protocol, error categories and capability denials — the operational
+// visibility a production ORB needs and the paper's open-implementation
+// philosophy invites (the ORB's decisions are observable, not hidden).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ohpx/common/clock.hpp"
+
+namespace ohpx::metrics {
+
+/// Log-scale latency histogram: bucket i holds durations in
+/// [2^i, 2^(i+1)) microseconds; bucket 0 is < 2 us, the last bucket is
+/// open-ended.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 20;
+
+  void record(Nanoseconds duration) noexcept;
+
+  std::uint64_t count() const noexcept;
+  Nanoseconds total() const noexcept;
+  Nanoseconds mean() const noexcept;
+
+  /// Smallest bucket upper bound (in us) covering at least `quantile` of
+  /// the samples; 0 when empty.
+  std::uint64_t approximate_quantile_us(double quantile) const noexcept;
+
+  std::array<std::uint64_t, kBuckets> buckets() const noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  Nanoseconds total_{0};
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> latency_counts;
+  std::map<std::string, double> latency_mean_us;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide default registry (callers may also own private ones).
+  static MetricsRegistry& global();
+
+  void increment(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t counter(const std::string& name) const;
+
+  void record_latency(const std::string& name, Nanoseconds duration);
+  const LatencyHistogram* histogram(const std::string& name) const;
+
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Renders a snapshot as an aligned text table (one counter or histogram
+/// per line) — the "show me what the ORB did" report for examples/tools.
+std::string format_snapshot(const MetricsSnapshot& snapshot);
+
+/// RAII latency sample into a registry.
+class ScopedLatency {
+ public:
+  ScopedLatency(MetricsRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() { registry_.record_latency(name_, watch_.elapsed()); }
+
+ private:
+  MetricsRegistry& registry_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace ohpx::metrics

@@ -1,0 +1,84 @@
+#include "ohpx/naming/name_service.hpp"
+
+namespace ohpx::naming {
+
+void NameServiceServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
+                                  wire::Encoder& out) {
+  switch (method_id) {
+    case kBind: {
+      auto [name, raw, rebind] = orb::unmarshal<std::string, Bytes, bool>(in);
+      bind(name, orb::ObjectRef::from_bytes(raw), rebind);
+      return;
+    }
+    case kResolve: {
+      auto [name] = orb::unmarshal<std::string>(in);
+      const auto ref = resolve(name);
+      if (!ref) {
+        throw ObjectError(ErrorCode::object_not_found,
+                          "no binding for name '" + name + "'");
+      }
+      orb::marshal_result(out, ref->to_bytes());
+      return;
+    }
+    case kUnbind: {
+      auto [name] = orb::unmarshal<std::string>(in);
+      orb::marshal_result(out, unbind(name));
+      return;
+    }
+    case kList: {
+      auto [prefix] = orb::unmarshal<std::string>(in);
+      orb::marshal_result(out, list(prefix));
+      return;
+    }
+    default:
+      orb::unknown_method(kTypeName, method_id);
+  }
+}
+
+void NameServiceServant::bind(const std::string& name,
+                              const orb::ObjectRef& ref, bool rebind) {
+  if (!ref.valid()) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "cannot bind an invalid reference");
+  }
+  std::lock_guard lock(mutex_);
+  if (!rebind && entries_.count(name) != 0) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "name '" + name + "' is already bound");
+  }
+  entries_[name] = ref.to_bytes();
+}
+
+std::optional<orb::ObjectRef> NameServiceServant::resolve(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return orb::ObjectRef::from_bytes(it->second);
+}
+
+bool NameServiceServant::unbind(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return entries_.erase(name) != 0;
+}
+
+std::vector<std::string> NameServiceServant::list(
+    const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, raw] : entries_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t NameServiceServant::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+NameServiceHost::NameServiceHost(orb::Context& context)
+    : servant_(std::make_shared<NameServiceServant>()),
+      ref_(orb::RefBuilder(context, servant_).build()) {}
+
+}  // namespace ohpx::naming

@@ -1,0 +1,102 @@
+// Naming service: a CORBA-style name → object-reference directory,
+// itself implemented as an ordinary Open HPC++ servant.  Clients bootstrap
+// from a single well-known reference (the name service's own OR) and
+// resolve everything else through remote calls — including references
+// whose glue entries carry capabilities, so handing out a name is handing
+// out an access policy.
+//
+//   server:  naming::NameServiceHost host(server_ctx);
+//            host.service().bind("weather/public", kiosk_ref);
+//   client:  naming::NameClient names(client_ctx, host.ref());
+//            auto ref = names.resolve("weather/public");
+//
+// Names are flat strings; use '/' segments by convention.  bind() on an
+// existing name throws unless rebind is requested.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/orb/servant.hpp"
+#include "ohpx/orb/stub.hpp"
+
+namespace ohpx::naming {
+
+/// The directory servant.  Thread-safe; stores serialized ORs so entries
+/// survive independent of any context's lifetime.
+class NameServiceServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "NameService";
+
+  enum Method : std::uint32_t {
+    kBind = 1,     // (name: string, ref: bytes, rebind: bool) -> ()
+    kResolve = 2,  // (name: string) -> bytes
+    kUnbind = 3,   // (name: string) -> bool (existed)
+    kList = 4,     // (prefix: string) -> vector<string>
+  };
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override;
+
+  // Local (in-process) API, used directly by the hosting server.
+  void bind(const std::string& name, const orb::ObjectRef& ref,
+            bool rebind = false);
+  std::optional<orb::ObjectRef> resolve(const std::string& name) const;
+  bool unbind(const std::string& name);
+  std::vector<std::string> list(const std::string& prefix) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Bytes> entries_;
+};
+
+/// Typed client stub for the directory.
+class NameServiceStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = NameServiceServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  void bind(const std::string& name, const orb::ObjectRef& ref,
+            bool rebind = false) {
+    call<void>(NameServiceServant::kBind, name, ref.to_bytes(), rebind);
+  }
+
+  /// Throws ObjectError(object_not_found) for unbound names.
+  orb::ObjectRef resolve(const std::string& name) {
+    const Bytes raw = call<Bytes>(NameServiceServant::kResolve, name);
+    return orb::ObjectRef::from_bytes(raw);
+  }
+
+  bool unbind(const std::string& name) {
+    return call<bool>(NameServiceServant::kUnbind, name);
+  }
+
+  std::vector<std::string> list(const std::string& prefix = "") {
+    return call<std::vector<std::string>>(NameServiceServant::kList, prefix);
+  }
+};
+
+using NamePointer = orb::GlobalPointer<NameServiceStub>;
+
+/// Convenience host: activates a directory in `context` and mints its
+/// bootstrap reference (default table: shm + nexus, plus tcp if enabled).
+class NameServiceHost {
+ public:
+  explicit NameServiceHost(orb::Context& context);
+
+  NameServiceServant& service() noexcept { return *servant_; }
+  const orb::ObjectRef& ref() const noexcept { return ref_; }
+
+ private:
+  std::shared_ptr<NameServiceServant> servant_;
+  orb::ObjectRef ref_;
+};
+
+}  // namespace ohpx::naming

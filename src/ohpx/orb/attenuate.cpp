@@ -1,0 +1,38 @@
+#include "ohpx/orb/attenuate.hpp"
+
+#include "ohpx/capability/builtin/delegation.hpp"
+#include "ohpx/common/error.hpp"
+#include "ohpx/protocol/glue_wire.hpp"
+
+namespace ohpx::orb {
+
+ObjectRef attenuate_reference(const ObjectRef& ref, const std::string& caveat) {
+  proto::ProtoTable table;
+  bool attenuated = false;
+
+  for (const auto& entry : ref.table().entries()) {
+    if (entry.name != "glue") {
+      table.add(entry);
+      continue;
+    }
+    proto::GlueProtoData data = proto::decode_glue_proto_data(entry.proto_data);
+    for (auto& descriptor : data.capabilities) {
+      if (descriptor.kind != "delegation") continue;
+      const auto bearer = std::dynamic_pointer_cast<cap::DelegationCapability>(
+          cap::DelegationCapability::from_descriptor(descriptor));
+      descriptor = bearer->attenuate(caveat)->descriptor();
+      attenuated = true;
+    }
+    table.add(proto::ProtocolEntry{"glue", proto::encode_glue_proto_data(data)});
+  }
+
+  if (!attenuated) {
+    throw CapabilityDenied(
+        ErrorCode::capability_unknown,
+        "reference carries no delegation capability to attenuate");
+  }
+  return ObjectRef(ref.object_id(), ref.type_name(), ref.home(),
+                   std::move(table));
+}
+
+}  // namespace ohpx::orb

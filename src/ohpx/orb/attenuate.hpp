@@ -1,0 +1,22 @@
+// Offline attenuation of object references.
+//
+// A holder of a reference whose glue entries carry a delegation capability
+// can mint a narrower reference for a third party without contacting the
+// server: attenuate_reference() rewrites every delegation descriptor in
+// the OR with one more caveat (re-folding the bearer token), leaving all
+// other capabilities and protocols untouched.  The server's verifier
+// accepts the new token because the fold is anchored in its root key.
+#pragma once
+
+#include <string>
+
+#include "ohpx/orb/object_ref.hpp"
+
+namespace ohpx::orb {
+
+/// Returns a copy of `ref` in which every delegation capability has been
+/// narrowed by `caveat`.  Throws CapabilityDenied(capability_unknown) if
+/// the reference carries no delegation capability (nothing to attenuate).
+ObjectRef attenuate_reference(const ObjectRef& ref, const std::string& caveat);
+
+}  // namespace ohpx::orb

@@ -1,0 +1,298 @@
+#include "ohpx/orb/context.hpp"
+
+#include "ohpx/common/log.hpp"
+#include "ohpx/metrics/metrics.hpp"
+#include "ohpx/protocol/glue_wire.hpp"
+#include "ohpx/transport/inproc.hpp"
+
+namespace ohpx::orb {
+namespace {
+
+std::atomic<ContextId> g_next_context_id{1};
+std::atomic<ObjectId> g_next_object_id{1};
+std::atomic<std::uint32_t> g_next_glue_id{1};
+
+}  // namespace
+
+ContextId Context::allocate_id() noexcept {
+  return g_next_context_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Context::Context(ContextId id, netsim::MachineId machine,
+                 netsim::Topology& topology, LocationService& location)
+    : id_(id),
+      machine_(machine),
+      topology_(topology),
+      location_(location),
+      endpoint_("ctx/" + std::to_string(id)),
+      pool_(proto::ProtoPool::standard()) {
+  transport::EndpointRegistry::instance().bind(
+      endpoint_, [this](const wire::Buffer& frame) { return handle_frame(frame); });
+}
+
+Context::~Context() {
+  transport::EndpointRegistry::instance().unbind(endpoint_);
+  if (listener_) listener_->stop();
+  // Forget the location of objects still hosted here; migrated-away
+  // objects are someone else's to publish.
+  std::lock_guard lock(mutex_);
+  for (const auto& [object_id, servant] : servants_) {
+    location_.remove(object_id);
+  }
+}
+
+void Context::enable_tcp() {
+  if (listener_) return;
+  listener_ = std::make_unique<transport::TcpListener>(
+      0, [this](const wire::Buffer& frame) { return handle_frame(frame); });
+  // Republish every hosted object so references pick up the TCP address.
+  std::vector<ObjectId> hosted = hosted_objects();
+  for (ObjectId object_id : hosted) {
+    location_.publish(object_id, current_address());
+  }
+}
+
+proto::ServerAddress Context::current_address() const {
+  proto::ServerAddress address;
+  address.context_id = id_;
+  address.machine = machine_;
+  address.endpoint = endpoint_;
+  if (listener_) {
+    address.tcp_host = "127.0.0.1";
+    address.tcp_port = listener_->port();
+  }
+  return address;
+}
+
+ObjectId Context::activate(ServantPtr servant) {
+  if (!servant) {
+    throw ObjectError(ErrorCode::internal, "activate: null servant");
+  }
+  const ObjectId object_id =
+      g_next_object_id.fetch_add(1, std::memory_order_relaxed);
+  activate_with_id(object_id, std::move(servant));
+  return object_id;
+}
+
+void Context::activate_with_id(ObjectId object_id, ServantPtr servant) {
+  if (!servant) {
+    throw ObjectError(ErrorCode::internal, "activate: null servant");
+  }
+  {
+    std::lock_guard lock(mutex_);
+    servants_[object_id] = std::move(servant);
+  }
+  location_.publish(object_id, current_address());
+}
+
+void Context::deactivate(ObjectId object_id, bool forget_location) {
+  {
+    std::lock_guard lock(mutex_);
+    servants_.erase(object_id);
+  }
+  if (forget_location) {
+    location_.remove(object_id);
+    remove_glue_of(object_id);
+  }
+}
+
+ServantPtr Context::find_servant(ObjectId object_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = servants_.find(object_id);
+  return it == servants_.end() ? nullptr : it->second;
+}
+
+bool Context::hosts(ObjectId object_id) const {
+  std::lock_guard lock(mutex_);
+  return servants_.count(object_id) != 0;
+}
+
+std::vector<ObjectId> Context::hosted_objects() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ObjectId> out;
+  out.reserve(servants_.size());
+  for (const auto& [object_id, servant] : servants_) out.push_back(object_id);
+  return out;
+}
+
+std::uint32_t Context::register_glue(ObjectId object_id,
+                                     cap::CapabilityChain chain) {
+  const std::uint32_t glue_id =
+      g_next_glue_id.fetch_add(1, std::memory_order_relaxed);
+  register_glue_with_id(glue_id, object_id, std::move(chain));
+  return glue_id;
+}
+
+void Context::register_glue_with_id(std::uint32_t glue_id, ObjectId object_id,
+                                    cap::CapabilityChain chain) {
+  auto binding = std::make_shared<GlueBinding>();
+  binding->glue_id = glue_id;
+  binding->object_id = object_id;
+  binding->chain = std::move(chain);
+  std::lock_guard lock(mutex_);
+  glue_bindings_[glue_id] = std::move(binding);
+}
+
+std::vector<std::shared_ptr<GlueBinding>> Context::glue_bindings_of(
+    ObjectId object_id) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<GlueBinding>> out;
+  for (const auto& [glue_id, binding] : glue_bindings_) {
+    if (binding->object_id == object_id) out.push_back(binding);
+  }
+  return out;
+}
+
+std::shared_ptr<GlueBinding> Context::find_glue(std::uint32_t glue_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = glue_bindings_.find(glue_id);
+  return it == glue_bindings_.end() ? nullptr : it->second;
+}
+
+void Context::remove_glue_of(ObjectId object_id) {
+  std::lock_guard lock(mutex_);
+  for (auto it = glue_bindings_.begin(); it != glue_bindings_.end();) {
+    if (it->second->object_id == object_id) {
+      it = glue_bindings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Context::revoke_glue(std::uint32_t glue_id) {
+  std::lock_guard lock(mutex_);
+  return glue_bindings_.erase(glue_id) != 0;
+}
+
+std::uint64_t Context::next_request_id() noexcept {
+  const std::uint64_t seq =
+      request_counter_.fetch_add(1, std::memory_order_relaxed);
+  return (static_cast<std::uint64_t>(id_) << 40) | (seq & 0xffffffffffULL);
+}
+
+wire::Buffer Context::handle_frame(const wire::Buffer& frame) noexcept {
+  auto& registry = metrics::MetricsRegistry::global();
+  registry.increment("server.requests");
+  try {
+    return handle_frame_or_throw(frame);
+  } catch (const Error& e) {
+    registry.increment("server.errors." + std::string(to_string(e.code())));
+    wire::MessageHeader header;
+    BytesView body;
+    try {
+      header = wire::decode_frame(frame.view(), body);
+    } catch (...) {
+      header = wire::MessageHeader{};
+    }
+    return error_frame(header, e.code(), e.what());
+  } catch (const std::exception& e) {
+    registry.increment("server.errors.remote_application_error");
+    wire::MessageHeader header;
+    BytesView body;
+    try {
+      header = wire::decode_frame(frame.view(), body);
+    } catch (...) {
+      header = wire::MessageHeader{};
+    }
+    return error_frame(header, ErrorCode::remote_application_error, e.what());
+  }
+}
+
+wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
+  BytesView body;
+  const wire::MessageHeader header = wire::decode_frame(frame.view(), body);
+  const bool oneway = header.type == wire::MessageType::oneway;
+  if (header.type != wire::MessageType::request && !oneway) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "server received a non-request frame");
+  }
+
+  wire::Buffer payload(body.data(), body.size());
+
+  cap::CallContext call;
+  call.request_id = header.request_id;
+  call.object_id = header.object_id;
+  call.method_id = header.method_or_code;
+  call.direction = cap::Direction::request;
+  // Server side does not know the caller's machine; capabilities only
+  // evaluate placement-dependent applicability on the client.
+  call.placement = netsim::Placement{};
+
+  std::shared_ptr<GlueBinding> binding;
+  if (header.flags & wire::kFlagGlueProcessed) {
+    const std::uint32_t glue_id = proto::strip_glue_id(payload);
+    binding = find_glue(glue_id);
+    if (!binding) {
+      throw CapabilityDenied(ErrorCode::capability_unknown,
+                             "no glue binding " + std::to_string(glue_id) +
+                                 " in context " + std::to_string(id_));
+    }
+    if (binding->object_id != header.object_id) {
+      throw CapabilityDenied(
+          ErrorCode::capability_denied,
+          "glue binding does not belong to the addressed object");
+    }
+    binding->chain.process_inbound(payload, call);
+  }
+
+  ServantPtr servant = find_servant(header.object_id);
+  if (!servant) {
+    // Distinguish "moved elsewhere" from "gone": helps clients rebind.
+    const auto current = location_.resolve(header.object_id);
+    if (current && current->context_id != id_) {
+      throw ObjectError(ErrorCode::stale_reference,
+                        "object " + std::to_string(header.object_id) +
+                            " migrated to context " +
+                            std::to_string(current->context_id));
+    }
+    throw ObjectError(ErrorCode::object_not_found,
+                      "object " + std::to_string(header.object_id) +
+                          " not hosted in context " + std::to_string(id_));
+  }
+
+  wire::Decoder in(payload.view());
+  wire::Buffer result;
+  wire::Encoder out(result);
+  if (oneway) {
+    // Fire-and-forget: the handler runs, but neither its result nor its
+    // application errors travel back (Nexus RSR semantics).  The empty
+    // ack only confirms delivery.
+    try {
+      servant->dispatch(header.method_or_code, in, out);
+    } catch (const std::exception& e) {
+      log_warn("orb", "oneway handler error (dropped): ", e.what());
+    }
+    result.clear();
+  } else {
+    servant->dispatch(header.method_or_code, in, out);
+  }
+
+  wire::MessageHeader reply_header;
+  reply_header.type = wire::MessageType::reply;
+  reply_header.request_id = header.request_id;
+  reply_header.object_id = header.object_id;
+  reply_header.method_or_code = 0;
+
+  if (binding && !oneway) {
+    call.direction = cap::Direction::reply;
+    binding->chain.process_outbound(result, call);
+    reply_header.flags |= wire::kFlagGlueProcessed;
+  }
+  return wire::encode_frame(reply_header, result.view());
+}
+
+wire::Buffer Context::error_frame(const wire::MessageHeader& request_header,
+                                  ErrorCode code,
+                                  const std::string& message) const {
+  wire::MessageHeader header;
+  header.type = wire::MessageType::error_reply;
+  header.request_id = request_header.request_id;
+  header.object_id = request_header.object_id;
+  header.method_or_code = static_cast<std::uint32_t>(code);
+  const wire::Buffer body =
+      wire::encode_error_body(static_cast<std::uint32_t>(code), message);
+  return wire::encode_frame(header, body.view());
+}
+
+}  // namespace ohpx::orb

@@ -1,0 +1,63 @@
+// Global Pointer (paper §2): "a generalization of the C pointer type to
+// support pointers to objects residing in remote contexts...  closely
+// linked to the idea of a remote object reference that acts as a proxy for
+// a remote object."
+//
+// GlobalPointer<StubT> binds an ObjectRef inside a client context and
+// exposes StubT's methods through operator->.  It is copyable, serializable
+// (via the OR), and re-bindable in another context — passing a GP to a peer
+// passes the capabilities embedded in its OR with it.
+#pragma once
+
+#include <concepts>
+#include <string_view>
+
+#include "ohpx/orb/stub.hpp"
+
+namespace ohpx::orb {
+
+template <typename StubT>
+concept TypedStub = std::derived_from<StubT, ObjectStub> && requires {
+  { StubT::kTypeName } -> std::convertible_to<std::string_view>;
+};
+
+template <TypedStub StubT>
+class GlobalPointer {
+ public:
+  GlobalPointer() = default;
+
+  /// Binds `ref` in `context`; throws ObjectError(type_mismatch) when the
+  /// reference was minted for a different interface.
+  GlobalPointer(Context& context, ObjectRef ref) {
+    if (ref.type_name() != StubT::kTypeName) {
+      throw ObjectError(ErrorCode::type_mismatch,
+                        "reference is for type '" + ref.type_name() +
+                            "', expected '" + std::string(StubT::kTypeName) +
+                            "'");
+    }
+    stub_ = StubT(context, std::move(ref));
+  }
+
+  bool bound() const noexcept { return stub_.bound(); }
+  explicit operator bool() const noexcept { return bound(); }
+
+  StubT* operator->() { return &stub_; }
+  const StubT* operator->() const { return &stub_; }
+  StubT& stub() { return stub_; }
+  const StubT& stub() const { return stub_; }
+
+  const ObjectRef& ref() const { return stub_.ref(); }
+
+  /// Serializes the underlying OR — the unit of exchange between contexts.
+  Bytes to_bytes() const { return ref().to_bytes(); }
+
+  /// Rebinds a serialized reference in (possibly another) context.
+  static GlobalPointer from_bytes(Context& context, BytesView raw) {
+    return GlobalPointer(context, ObjectRef::from_bytes(raw));
+  }
+
+ private:
+  StubT stub_;
+};
+
+}  // namespace ohpx::orb

@@ -1,0 +1,107 @@
+#include "ohpx/orb/invocation.hpp"
+
+#include "ohpx/common/log.hpp"
+#include "ohpx/metrics/metrics.hpp"
+#include "ohpx/protocol/registry.hpp"
+#include "ohpx/protocol/select.hpp"
+
+namespace ohpx::orb {
+
+CallCore::CallCore(Context& context, ObjectRef ref)
+    : context_(context), ref_(std::move(ref)) {
+  if (!ref_.valid()) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "cannot bind to an invalid object reference");
+  }
+  protocols_ = proto::ProtocolRegistry::instance().instantiate_table(ref_.table());
+  if (protocols_.empty()) {
+    throw ProtocolError(ErrorCode::protocol_no_match,
+                        "object reference carries no usable protocol");
+  }
+}
+
+proto::CallTarget CallCore::resolve_target() const {
+  proto::CallTarget target;
+  const auto resolved = context_.location().resolve(ref_.object_id());
+  target.address = resolved ? *resolved : ref_.home();
+  target.placement = netsim::Placement{context_.machine(),
+                                       target.address.machine,
+                                       &context_.topology()};
+  return target;
+}
+
+std::string CallCore::probe_protocol() const {
+  const proto::CallTarget target = resolve_target();
+  proto::Protocol* selected =
+      proto::select_protocol(protocols_, context_.pool(), target);
+  return selected ? selected->describe() : std::string();
+}
+
+wire::Buffer CallCore::invoke_raw(std::uint32_t method_id,
+                                  const wire::Buffer& args,
+                                  CostLedger* ledger) {
+  return invoke_internal(method_id, args, ledger, /*oneway=*/false);
+}
+
+void CallCore::invoke_oneway(std::uint32_t method_id, const wire::Buffer& args,
+                             CostLedger* ledger) {
+  invoke_internal(method_id, args, ledger, /*oneway=*/true);
+}
+
+wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
+                                       const wire::Buffer& args,
+                                       CostLedger* ledger, bool oneway) {
+  CostLedger local;
+  CostLedger& cost = ledger ? *ledger : local;
+
+  for (int attempt = 0;; ++attempt) {
+    const proto::CallTarget target = resolve_target();
+
+    wire::MessageHeader header;
+    header.type =
+        oneway ? wire::MessageType::oneway : wire::MessageType::request;
+    header.request_id = context_.next_request_id();
+    header.object_id = ref_.object_id();
+    header.method_or_code = method_id;
+
+    proto::Protocol& protocol =
+        proto::select_protocol_or_throw(protocols_, context_.pool(), target);
+    {
+      std::lock_guard lock(mutex_);
+      last_protocol_ = protocol.describe();
+    }
+    auto& registry = metrics::MetricsRegistry::global();
+    registry.increment("rmi.calls");
+    registry.increment("rmi.calls." + std::string(protocol.name()));
+
+    // The protocol consumes its payload (capabilities transform in place),
+    // so each attempt gets its own copy of the encoded arguments.
+    wire::Buffer payload(args.bytes());
+    proto::ReplyMessage reply =
+        protocol.invoke(header, std::move(payload), target, cost);
+
+    if (reply.header.type == wire::MessageType::reply) {
+      registry.record_latency("rmi.latency", cost.total());
+      return std::move(reply.payload);
+    }
+
+    std::uint32_t code_raw = 0;
+    std::string message;
+    wire::decode_error_body(reply.payload.view(), code_raw, message);
+    const ErrorCode code = static_cast<ErrorCode>(code_raw);
+    registry.increment("rmi.errors." + std::string(to_string(code)));
+    if (code == ErrorCode::stale_reference && attempt + 1 < kMaxAttempts) {
+      log_debug("orb", "stale reference for object ", ref_.object_id(),
+                ", re-resolving (attempt ", attempt + 1, ")");
+      continue;
+    }
+    throw_error(code, message);
+  }
+}
+
+std::string CallCore::last_protocol() const {
+  std::lock_guard lock(mutex_);
+  return last_protocol_;
+}
+
+}  // namespace ohpx::orb

@@ -1,0 +1,68 @@
+// Client-side invocation core shared by all stubs bound to one OR.
+//
+// Per call (paper §3.2): resolve the object's current address through the
+// location service (falling back to the OR's home address), compute the
+// placement, select the first applicable pool-allowed protocol from the
+// OR's table, and fire.  Error replies are re-raised as typed exceptions;
+// stale-reference replies (migration race) trigger a bounded re-resolve
+// and retry.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ohpx/orb/context.hpp"
+#include "ohpx/orb/object_ref.hpp"
+#include "ohpx/protocol/protocol.hpp"
+
+namespace ohpx::orb {
+
+class CallCore {
+ public:
+  CallCore(Context& context, ObjectRef ref);
+
+  /// Marshals nothing — the caller provides the encoded argument payload.
+  /// Returns the reply payload.  Costs (marshalling, capability work, wire
+  /// time) accrue to `ledger` when non-null.
+  wire::Buffer invoke_raw(std::uint32_t method_id, const wire::Buffer& args,
+                          CostLedger* ledger);
+
+  /// Fire-and-forget variant: the server runs the method but returns only
+  /// an empty delivery ack; results and application errors are dropped on
+  /// the server (infrastructure errors — no such object, capability
+  /// denied — still surface here).
+  void invoke_oneway(std::uint32_t method_id, const wire::Buffer& args,
+                     CostLedger* ledger);
+
+  const ObjectRef& ref() const noexcept { return ref_; }
+  Context& context() noexcept { return context_; }
+
+  /// describe() of the protocol used by the most recent call — the
+  /// observable for adaptivity tests and the Figure 4 experiment.
+  std::string last_protocol() const;
+
+  /// Resolves the current call target (public for diagnostics).
+  proto::CallTarget resolve_target() const;
+
+  /// The protocol that *would* be selected right now, without calling.
+  std::string probe_protocol() const;
+
+ private:
+  wire::Buffer invoke_internal(std::uint32_t method_id, const wire::Buffer& args,
+                               CostLedger* ledger, bool oneway);
+
+  static constexpr int kMaxAttempts = 3;
+
+  Context& context_;
+  ObjectRef ref_;
+  std::vector<proto::ProtocolPtr> protocols_;  // built once, reused (keeps
+                                               // client capability state)
+  mutable std::mutex mutex_;
+  std::string last_protocol_;
+};
+
+using CallCorePtr = std::shared_ptr<CallCore>;
+
+}  // namespace ohpx::orb

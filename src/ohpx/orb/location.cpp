@@ -1,0 +1,36 @@
+#include "ohpx/orb/location.hpp"
+
+namespace ohpx::orb {
+
+void LocationService::publish(ObjectId object_id, proto::ServerAddress address) {
+  std::lock_guard lock(mutex_);
+  const auto it = addresses_.find(object_id);
+  address.epoch = (it == addresses_.end()) ? 1 : it->second.epoch + 1;
+  addresses_[object_id] = std::move(address);
+}
+
+std::optional<proto::ServerAddress> LocationService::resolve(
+    ObjectId object_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = addresses_.find(object_id);
+  if (it == addresses_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LocationService::remove(ObjectId object_id) {
+  std::lock_guard lock(mutex_);
+  addresses_.erase(object_id);
+}
+
+std::uint64_t LocationService::epoch_of(ObjectId object_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = addresses_.find(object_id);
+  return it == addresses_.end() ? 0 : it->second.epoch;
+}
+
+std::size_t LocationService::size() const {
+  std::lock_guard lock(mutex_);
+  return addresses_.size();
+}
+
+}  // namespace ohpx::orb

@@ -1,0 +1,42 @@
+// Location service: the live object_id → address map that supersedes the
+// (immutable) home address baked into each OR.  Migration republishes an
+// object under its new context and bumps the per-object epoch; global
+// pointers resolve through here on every call, which is what lets a GP
+// adapt its protocol choice the moment its server object moves (paper §4.3
+// and the Figure 4 experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "ohpx/protocol/target.hpp"
+
+namespace ohpx::orb {
+
+using ObjectId = std::uint64_t;
+
+class LocationService {
+ public:
+  /// Publishes (or republishes) an object's current address.  The stored
+  /// epoch increments on every republish.
+  void publish(ObjectId object_id, proto::ServerAddress address);
+
+  /// Current address, or nullopt for unknown objects.
+  std::optional<proto::ServerAddress> resolve(ObjectId object_id) const;
+
+  /// Forgets an object (destroyed, not migrated).
+  void remove(ObjectId object_id);
+
+  /// Per-object epoch; 0 if unknown.  Cheap staleness probe for caches.
+  std::uint64_t epoch_of(ObjectId object_id) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<ObjectId, proto::ServerAddress> addresses_;
+};
+
+}  // namespace ohpx::orb

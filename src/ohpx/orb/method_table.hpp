@@ -1,0 +1,104 @@
+// Declarative servant dispatch: bind method ids to member functions once,
+// and let the table do the unmarshal / invoke / marshal dance — the moral
+// equivalent of an IDL-generated skeleton, without a generator.
+//
+//   class Calc final : public orb::Servant {
+//    public:
+//     static constexpr std::string_view kTypeName = "Calc";
+//     enum Method : std::uint32_t { kAdd = 1, kNeg = 2 };
+//
+//     std::int64_t add(std::int64_t a, std::int64_t b) { return a + b; }
+//     std::int64_t neg(std::int64_t a) { return -a; }
+//
+//     std::string_view type_name() const noexcept override { return kTypeName; }
+//     void dispatch(std::uint32_t m, wire::Decoder& in,
+//                   wire::Encoder& out) override {
+//       static const auto kTable = orb::MethodTable<Calc>{}
+//                                      .bind(kAdd, &Calc::add)
+//                                      .bind(kNeg, &Calc::neg);
+//       kTable.dispatch(*this, m, in, out);
+//     }
+//   };
+//
+// Arguments are decoded in declaration order; void results marshal
+// nothing.  Unknown ids raise the canonical method_not_found error.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <tuple>
+
+#include "ohpx/orb/servant.hpp"
+
+namespace ohpx::orb {
+
+template <typename Impl>
+class MethodTable {
+ public:
+  using Thunk = std::function<void(Impl&, wire::Decoder&, wire::Encoder&)>;
+
+  /// Binds `method_id` to a member function; arguments are unmarshalled
+  /// by value in order, the result (if non-void) is marshalled back.
+  template <typename Ret, typename... Args>
+  MethodTable&& bind(std::uint32_t method_id, Ret (Impl::*fn)(Args...)) && {
+    thunks_[method_id] = make_thunk<Ret, Args...>(fn);
+    return std::move(*this);
+  }
+
+  /// Const-member overload.
+  template <typename Ret, typename... Args>
+  MethodTable&& bind(std::uint32_t method_id,
+                     Ret (Impl::*fn)(Args...) const) && {
+    thunks_[method_id] = make_thunk_const<Ret, Args...>(fn);
+    return std::move(*this);
+  }
+
+  /// Lvalue variants so tables can also be built incrementally.
+  template <typename Fn>
+  MethodTable& bind(std::uint32_t method_id, Fn fn) & {
+    std::move(*this).bind(method_id, fn);
+    return *this;
+  }
+
+  void dispatch(Impl& servant, std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) const {
+    const auto it = thunks_.find(method_id);
+    if (it == thunks_.end()) {
+      unknown_method(servant.type_name(), method_id);
+    }
+    it->second(servant, in, out);
+  }
+
+  std::size_t size() const noexcept { return thunks_.size(); }
+
+ private:
+  template <typename Ret, typename... Args, typename Fn>
+  static Thunk make_thunk_impl(Fn fn) {
+    return [fn](Impl& servant, wire::Decoder& in, wire::Encoder& out) {
+      auto args = unmarshal<std::remove_cvref_t<Args>...>(in);
+      if constexpr (std::is_void_v<Ret>) {
+        std::apply([&](auto&&... unpacked) { std::invoke(fn, servant, unpacked...); },
+                   std::move(args));
+      } else {
+        Ret result = std::apply(
+            [&](auto&&... unpacked) { return std::invoke(fn, servant, unpacked...); },
+            std::move(args));
+        marshal_result(out, result);
+      }
+    };
+  }
+
+  template <typename Ret, typename... Args>
+  static Thunk make_thunk(Ret (Impl::*fn)(Args...)) {
+    return make_thunk_impl<Ret, Args...>(fn);
+  }
+
+  template <typename Ret, typename... Args>
+  static Thunk make_thunk_const(Ret (Impl::*fn)(Args...) const) {
+    return make_thunk_impl<Ret, Args...>(fn);
+  }
+
+  std::map<std::uint32_t, Thunk> thunks_;
+};
+
+}  // namespace ohpx::orb

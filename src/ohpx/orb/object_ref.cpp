@@ -1,0 +1,61 @@
+#include "ohpx/orb/object_ref.hpp"
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::orb {
+
+void serialize_address(wire::Encoder& enc, const proto::ServerAddress& address) {
+  enc.put_u32(address.context_id);
+  enc.put_u32(address.machine);
+  enc.put_string(address.endpoint);
+  enc.put_string(address.tcp_host);
+  enc.put_u16(address.tcp_port);
+  enc.put_u64(address.epoch);
+}
+
+proto::ServerAddress deserialize_address(wire::Decoder& dec) {
+  proto::ServerAddress address;
+  address.context_id = dec.get_u32();
+  address.machine = dec.get_u32();
+  address.endpoint = dec.get_string();
+  address.tcp_host = dec.get_string();
+  address.tcp_port = dec.get_u16();
+  address.epoch = dec.get_u64();
+  return address;
+}
+
+void ObjectRef::wire_serialize(wire::Encoder& enc) const {
+  enc.put_u64(object_id_);
+  enc.put_string(type_name_);
+  serialize_address(enc, home_);
+  table_.wire_serialize(enc);
+}
+
+ObjectRef ObjectRef::wire_deserialize(wire::Decoder& dec) {
+  ObjectRef ref;
+  ref.object_id_ = dec.get_u64();
+  ref.type_name_ = dec.get_string();
+  ref.home_ = deserialize_address(dec);
+  ref.table_ = proto::ProtoTable::wire_deserialize(dec);
+  return ref;
+}
+
+Bytes ObjectRef::to_bytes() const {
+  wire::Buffer buf;
+  wire::Encoder enc(buf);
+  wire_serialize(enc);
+  return buf.release();
+}
+
+ObjectRef ObjectRef::from_bytes(BytesView raw) {
+  wire::Decoder dec(raw);
+  ObjectRef ref = wire_deserialize(dec);
+  dec.expect_end();
+  if (!ref.valid()) {
+    throw ObjectError(ErrorCode::bad_object_ref, "deserialized invalid OR");
+  }
+  return ref;
+}
+
+}  // namespace ohpx::orb

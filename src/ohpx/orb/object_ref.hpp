@@ -1,0 +1,70 @@
+// Object Reference (paper §3.1): uniquely identifies an Open HPC++ server
+// object and carries the protocol table used to reach it.
+//
+// "As different GPs to a single server object may contain ORs with
+// different protocol tables, the GPs may support different communication
+// protocols" — a server can mint several ORs for one object (full-trust
+// local OR, authenticated WAN OR, metered pay-per-use OR...), which is how
+// the weather-service example implements per-client access policies.
+//
+// ORs are fully serializable, including the capability descriptors inside
+// glue entries, so references (and the capabilities they carry) can be
+// passed between processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ohpx/protocol/entry.hpp"
+#include "ohpx/protocol/target.hpp"
+#include "ohpx/wire/decoder.hpp"
+#include "ohpx/wire/encoder.hpp"
+
+namespace ohpx::orb {
+
+using ObjectId = std::uint64_t;
+inline constexpr ObjectId kInvalidObject = 0;
+
+/// Serialization for the address block shared with the protocol layer.
+void serialize_address(wire::Encoder& enc, const proto::ServerAddress& address);
+proto::ServerAddress deserialize_address(wire::Decoder& dec);
+
+class ObjectRef {
+ public:
+  ObjectRef() = default;
+  ObjectRef(ObjectId object_id, std::string type_name,
+            proto::ServerAddress home, proto::ProtoTable table)
+      : object_id_(object_id),
+        type_name_(std::move(type_name)),
+        home_(std::move(home)),
+        table_(std::move(table)) {}
+
+  ObjectId object_id() const noexcept { return object_id_; }
+  const std::string& type_name() const noexcept { return type_name_; }
+
+  /// The address the object lived at when the OR was minted; the location
+  /// service supersedes it after migration.
+  const proto::ServerAddress& home() const noexcept { return home_; }
+
+  const proto::ProtoTable& table() const noexcept { return table_; }
+  proto::ProtoTable& mutable_table() noexcept { return table_; }
+
+  bool valid() const noexcept { return object_id_ != kInvalidObject; }
+
+  void wire_serialize(wire::Encoder& enc) const;
+  static ObjectRef wire_deserialize(wire::Decoder& dec);
+
+  /// Compact whole-reference encode/decode (hand a reference to a peer).
+  Bytes to_bytes() const;
+  static ObjectRef from_bytes(BytesView raw);
+
+  friend bool operator==(const ObjectRef&, const ObjectRef&) = default;
+
+ private:
+  ObjectId object_id_ = kInvalidObject;
+  std::string type_name_;
+  proto::ServerAddress home_;
+  proto::ProtoTable table_;
+};
+
+}  // namespace ohpx::orb

@@ -1,0 +1,84 @@
+#include "ohpx/orb/ref_builder.hpp"
+
+#include "ohpx/protocol/glue_wire.hpp"
+
+namespace ohpx::orb {
+
+RefBuilder::RefBuilder(Context& context, ServantPtr servant)
+    : context_(context), servant_(std::move(servant)) {
+  if (!servant_) {
+    throw ObjectError(ErrorCode::internal, "RefBuilder: null servant");
+  }
+  type_name_ = std::string(servant_->type_name());
+}
+
+RefBuilder::RefBuilder(Context& context, ObjectId object_id)
+    : context_(context), object_id_(object_id) {
+  ServantPtr servant = context.find_servant(object_id);
+  if (!servant) {
+    throw ObjectError(ErrorCode::object_not_found,
+                      "RefBuilder: object " + std::to_string(object_id) +
+                          " is not hosted in this context");
+  }
+  type_name_ = std::string(servant->type_name());
+}
+
+void RefBuilder::ensure_activated() {
+  if (object_id_ == kInvalidObject) {
+    object_id_ = context_.activate(servant_);
+    servant_.reset();
+  }
+}
+
+RefBuilder& RefBuilder::glue(std::vector<cap::CapabilityPtr> capabilities,
+                             const std::string& delegate) {
+  ensure_activated();
+  // Descriptors are captured *before* handing the instances to the server
+  // chain, so client copies start from the same state.
+  cap::CapabilityChain chain(std::move(capabilities));
+  proto::GlueProtoData data;
+  data.capabilities = chain.descriptors();
+  data.delegate = proto::ProtocolEntry{delegate, {}};
+  data.glue_id = context_.register_glue(object_id_, std::move(chain));
+
+  proto::ProtocolEntry entry;
+  entry.name = "glue";
+  entry.proto_data = proto::encode_glue_proto_data(data);
+  table_.add(std::move(entry));
+  return *this;
+}
+
+RefBuilder& RefBuilder::shm() {
+  table_.add(proto::ProtocolEntry{"shm", {}});
+  return *this;
+}
+
+RefBuilder& RefBuilder::tcp() {
+  table_.add(proto::ProtocolEntry{"tcp", {}});
+  return *this;
+}
+
+RefBuilder& RefBuilder::nexus() {
+  table_.add(proto::ProtocolEntry{"nexus-tcp", {}});
+  return *this;
+}
+
+RefBuilder& RefBuilder::custom(proto::ProtocolEntry entry) {
+  table_.add(std::move(entry));
+  return *this;
+}
+
+ObjectRef RefBuilder::build() {
+  ensure_activated();
+  if (table_.empty()) {
+    table_.add(proto::ProtocolEntry{"shm", {}});
+    if (context_.tcp_enabled()) {
+      table_.add(proto::ProtocolEntry{"tcp", {}});
+    }
+    table_.add(proto::ProtocolEntry{"nexus-tcp", {}});
+  }
+  return ObjectRef(object_id_, type_name_, context_.current_address(),
+                   std::move(table_));
+}
+
+}  // namespace ohpx::orb

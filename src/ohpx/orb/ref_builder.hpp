@@ -1,0 +1,68 @@
+// Fluent builder for object references.
+//
+// The builder is where a server decides, per reference, which protocols a
+// client may use and which capabilities guard them — the paper's central
+// policy knob ("a server resource may want to provide different kinds of
+// accesses for different clients", §1):
+//
+//   auto ref = RefBuilder(ctx, servant)
+//                  .glue({auth, quota}, "nexus-tcp")  // preferred
+//                  .shm()
+//                  .nexus()                           // fallback
+//                  .build();
+//
+// Capability instances passed to glue() become the *server-side* chain
+// (the paper's glue class GC, which "has its own copies of the
+// capabilities"); their descriptors travel in the OR and are re-
+// instantiated as the client-side copies.
+#pragma once
+
+#include <vector>
+
+#include "ohpx/capability/capability.hpp"
+#include "ohpx/orb/context.hpp"
+#include "ohpx/orb/object_ref.hpp"
+
+namespace ohpx::orb {
+
+class RefBuilder {
+ public:
+  /// Builder for a servant not yet activated (build() activates it).
+  RefBuilder(Context& context, ServantPtr servant);
+
+  /// Builder for an already-activated object (mint another OR with a
+  /// different protocol table / capability set for a different client).
+  RefBuilder(Context& context, ObjectId object_id);
+
+  /// Appends a glue protocol entry wrapping `delegate` with `capabilities`
+  /// (chain order = vector order).
+  RefBuilder& glue(std::vector<cap::CapabilityPtr> capabilities,
+                   const std::string& delegate = "nexus-tcp");
+
+  /// Appends the shared-memory protocol (same-machine only).
+  RefBuilder& shm();
+
+  /// Appends the real-socket TCP protocol (requires ctx.enable_tcp()).
+  RefBuilder& tcp();
+
+  /// Appends the simulated-network "nexus-tcp" protocol.
+  RefBuilder& nexus();
+
+  /// Appends an arbitrary (custom) protocol entry.
+  RefBuilder& custom(proto::ProtocolEntry entry);
+
+  /// Activates the servant if needed and mints the OR.  With no protocol
+  /// calls, the default table is [shm, nexus-tcp] (+tcp when enabled).
+  ObjectRef build();
+
+ private:
+  void ensure_activated();
+
+  Context& context_;
+  ServantPtr servant_;           // null when building for an existing object
+  ObjectId object_id_ = kInvalidObject;
+  std::string type_name_;
+  proto::ProtoTable table_;
+};
+
+}  // namespace ohpx::orb

@@ -1,0 +1,75 @@
+// Servant: the server-side implementation object behind an OR.
+//
+// A servant implements dispatch(): decode arguments, run the method, encode
+// the result.  The unmarshal/marshal helpers below keep hand-written
+// skeletons to a switch statement per method.  Migratable servants
+// additionally implement snapshot()/restore() (the paper's object migration
+// facility, §4.3, citing [1] EMOP).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <tuple>
+
+#include "ohpx/common/bytes.hpp"
+#include "ohpx/common/error.hpp"
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::orb {
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  /// Stable type name, checked against the OR's type on typed binding.
+  virtual std::string_view type_name() const noexcept = 0;
+
+  /// Executes method `method_id`: reads arguments from `in`, writes the
+  /// result to `out`.  Unknown ids must throw
+  /// ObjectError(method_not_found).  Application errors may throw any
+  /// exception; the server pipeline converts them to error replies.
+  virtual void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                        wire::Encoder& out) = 0;
+
+  // -- migration hooks (default: not migratable) --
+
+  virtual bool migratable() const noexcept { return false; }
+
+  /// Serializes the servant's state for transfer.
+  virtual Bytes snapshot() const {
+    throw Error(ErrorCode::not_migratable,
+                std::string(type_name()) + " does not support snapshot");
+  }
+
+  /// Restores state captured by snapshot() on a fresh instance.
+  virtual void restore(BytesView snapshot_bytes) {
+    (void)snapshot_bytes;
+    throw Error(ErrorCode::not_migratable,
+                std::string(type_name()) + " does not support restore");
+  }
+};
+
+using ServantPtr = std::shared_ptr<Servant>;
+
+/// Decodes an argument tuple in declaration order.
+template <typename... Args>
+std::tuple<Args...> unmarshal(wire::Decoder& in) {
+  // Braced-init-list evaluation order guarantees left-to-right decode.
+  return std::tuple<Args...>{wire::deserialize<Args>(in)...};
+}
+
+/// Encodes a method result.
+template <typename T>
+void marshal_result(wire::Encoder& out, const T& value) {
+  wire::serialize(out, value);
+}
+
+/// Throws the canonical unknown-method error.
+[[noreturn]] inline void unknown_method(std::string_view type,
+                                        std::uint32_t method_id) {
+  throw ObjectError(ErrorCode::method_not_found,
+                    std::string(type) + ": unknown method id " +
+                        std::to_string(method_id));
+}
+
+}  // namespace ohpx::orb

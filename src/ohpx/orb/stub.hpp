@@ -1,0 +1,132 @@
+// Stub base class: the typed client-side face of a remote object.
+//
+// A user stub derives from ObjectStub, declares its type name, and wraps
+// each remote method around call<Ret>(METHOD_ID, args...):
+//
+//   class CounterStub : public orb::ObjectStub {
+//    public:
+//     static constexpr std::string_view kTypeName = "Counter";
+//     using ObjectStub::ObjectStub;
+//     std::int64_t add(std::int64_t delta) {
+//       return call<std::int64_t>(kAdd, delta);
+//     }
+//   };
+//
+// Stubs are cheap value types: copies share the CallCore (and therefore
+// the client-side capability state — quotas keep counting across copies,
+// exactly like handing the same capability around).
+#pragma once
+
+#include <future>
+
+#include "ohpx/orb/invocation.hpp"
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::orb {
+
+class ObjectStub {
+ public:
+  ObjectStub() = default;
+  ObjectStub(Context& context, ObjectRef ref)
+      : core_(std::make_shared<CallCore>(context, std::move(ref))) {}
+
+  bool bound() const noexcept { return core_ != nullptr; }
+
+  const ObjectRef& ref() const {
+    ensure_bound();
+    return core_->ref();
+  }
+
+  /// Protocol used by the most recent call (adaptivity observable).
+  std::string last_protocol() const {
+    ensure_bound();
+    return core_->last_protocol();
+  }
+
+  /// Protocol that would be selected for a call right now.
+  std::string probe_protocol() const {
+    ensure_bound();
+    return core_->probe_protocol();
+  }
+
+  /// Typed remote call: marshals `args`, invokes, unmarshals Ret.
+  template <typename Ret, typename... Args>
+  Ret call(std::uint32_t method_id, const Args&... args) {
+    return call_with_cost<Ret>(nullptr, method_id, args...);
+  }
+
+  /// As call(), but accrues marshalling/capability/wire costs to `ledger`
+  /// (benchmark harness entry point).
+  template <typename Ret, typename... Args>
+  Ret call_with_cost(CostLedger* ledger, std::uint32_t method_id,
+                     const Args&... args) {
+    ensure_bound();
+    wire::Buffer payload;
+    {
+      CostLedger scratch;
+      ScopedRealTime timer(ledger ? *ledger : scratch);
+      wire::Encoder enc(payload);
+      wire::serialize_all(enc, args...);
+    }
+    wire::Buffer reply = core_->invoke_raw(method_id, payload, ledger);
+    if constexpr (std::is_void_v<Ret>) {
+      return;
+    } else {
+      CostLedger scratch;
+      ScopedRealTime timer(ledger ? *ledger : scratch);
+      return wire::decode_value<Ret>(reply.view());
+    }
+  }
+
+  /// Fire-and-forget call: marshals args, delivers the request, returns
+  /// as soon as the server acknowledges delivery.  Results and application
+  /// errors are dropped server-side; infrastructure errors still throw.
+  template <typename... Args>
+  void call_oneway(std::uint32_t method_id, const Args&... args) {
+    ensure_bound();
+    wire::Buffer payload;
+    {
+      wire::Encoder enc(payload);
+      wire::serialize_all(enc, args...);
+    }
+    core_->invoke_oneway(method_id, payload, nullptr);
+  }
+
+  /// Asynchronous remote call (HPC++ heritage: remote invocations that
+  /// overlap with local work).  Arguments are marshalled eagerly on the
+  /// calling thread; the wire exchange runs on a separate thread and the
+  /// result (or the remote exception) is delivered through the future.
+  template <typename Ret, typename... Args>
+  std::future<Ret> call_async(std::uint32_t method_id, const Args&... args) {
+    ensure_bound();
+    auto payload = std::make_shared<wire::Buffer>();
+    {
+      wire::Encoder enc(*payload);
+      wire::serialize_all(enc, args...);
+    }
+    CallCorePtr core = core_;
+    return std::async(std::launch::async, [core, payload, method_id]() -> Ret {
+      wire::Buffer reply = core->invoke_raw(method_id, *payload, nullptr);
+      if constexpr (!std::is_void_v<Ret>) {
+        return wire::decode_value<Ret>(reply.view());
+      }
+    });
+  }
+
+ protected:
+  CallCore& core() {
+    ensure_bound();
+    return *core_;
+  }
+
+ private:
+  void ensure_bound() const {
+    if (!core_) {
+      throw ObjectError(ErrorCode::bad_object_ref, "stub is not bound");
+    }
+  }
+
+  CallCorePtr core_;
+};
+
+}  // namespace ohpx::orb

@@ -1,0 +1,27 @@
+#include "ohpx/protocol/entry.hpp"
+
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::proto {
+
+void ProtocolEntry::wire_serialize(wire::Encoder& enc) const {
+  wire::serialize(enc, name);
+  wire::serialize(enc, proto_data);
+}
+
+ProtocolEntry ProtocolEntry::wire_deserialize(wire::Decoder& dec) {
+  ProtocolEntry entry;
+  entry.name = wire::deserialize<std::string>(dec);
+  entry.proto_data = wire::deserialize<Bytes>(dec);
+  return entry;
+}
+
+void ProtoTable::wire_serialize(wire::Encoder& enc) const {
+  wire::serialize(enc, entries_);
+}
+
+ProtoTable ProtoTable::wire_deserialize(wire::Decoder& dec) {
+  return ProtoTable(wire::deserialize<std::vector<ProtocolEntry>>(dec));
+}
+
+}  // namespace ohpx::proto

@@ -1,0 +1,50 @@
+// Protocol table entries — the serializable heart of an Object Reference.
+//
+// An OR "contains a table of protocols and protocol specific information
+// (proto-data) that can be used to access the object.  The protocols in the
+// OR are ordered by preference." (paper §3.1).  A ProtoTable is exactly
+// that: an ordered vector of (protocol name, opaque proto-data) pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ohpx/common/bytes.hpp"
+#include "ohpx/wire/decoder.hpp"
+#include "ohpx/wire/encoder.hpp"
+
+namespace ohpx::proto {
+
+struct ProtocolEntry {
+  std::string name;  // registry key, e.g. "shm", "nexus-tcp", "glue"
+  Bytes proto_data;  // protocol-specific blob (glue: chain + delegate)
+
+  void wire_serialize(wire::Encoder& enc) const;
+  static ProtocolEntry wire_deserialize(wire::Decoder& dec);
+
+  friend bool operator==(const ProtocolEntry&, const ProtocolEntry&) = default;
+};
+
+class ProtoTable {
+ public:
+  ProtoTable() = default;
+  explicit ProtoTable(std::vector<ProtocolEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  void add(ProtocolEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<ProtocolEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const ProtocolEntry& at(std::size_t i) const { return entries_.at(i); }
+
+  void wire_serialize(wire::Encoder& enc) const;
+  static ProtoTable wire_deserialize(wire::Decoder& dec);
+
+  friend bool operator==(const ProtoTable&, const ProtoTable&) = default;
+
+ private:
+  std::vector<ProtocolEntry> entries_;
+};
+
+}  // namespace ohpx::proto

@@ -1,0 +1,56 @@
+#include "ohpx/protocol/glue.hpp"
+
+#include <utility>
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx::proto {
+
+GlueProtocol::GlueProtocol(std::uint32_t glue_id, cap::CapabilityChain chain,
+                           ProtocolPtr delegate)
+    : glue_id_(glue_id), chain_(std::move(chain)), delegate_(std::move(delegate)) {
+  if (!delegate_) {
+    throw ProtocolError(ErrorCode::protocol_bad_proto_data,
+                        "glue protocol requires a delegate");
+  }
+}
+
+bool GlueProtocol::applicable(const CallTarget& target) const {
+  return chain_.applicable(target.placement) && delegate_->applicable(target);
+}
+
+ReplyMessage GlueProtocol::invoke(const wire::MessageHeader& header,
+                                  wire::Buffer&& payload,
+                                  const CallTarget& target, CostLedger& ledger) {
+  cap::CallContext call;
+  call.request_id = header.request_id;
+  call.object_id = header.object_id;
+  call.method_id = header.method_or_code;
+  call.direction = cap::Direction::request;
+  call.placement = target.placement;
+
+  {
+    ScopedRealTime timer(ledger);
+    chain_.process_outbound(payload, call);
+    prepend_glue_id(payload, glue_id_);
+  }
+
+  wire::MessageHeader glue_header = header;
+  glue_header.flags |= wire::kFlagGlueProcessed;
+
+  ReplyMessage reply =
+      delegate_->invoke(glue_header, std::move(payload), target, ledger);
+
+  if (reply.header.flags & wire::kFlagGlueProcessed) {
+    ScopedRealTime timer(ledger);
+    call.direction = cap::Direction::reply;
+    chain_.process_inbound(reply.payload, call);
+  }
+  return reply;
+}
+
+std::string GlueProtocol::describe() const {
+  return "glue[" + chain_.describe() + "]->" + delegate_->describe();
+}
+
+}  // namespace ohpx::proto

@@ -1,0 +1,47 @@
+// Glue protocol object (paper §4.1): "a special kind of protocol object
+// that can be used to hold capab-objects in a specific order...  A glue
+// object does not contain any communication mechanism but depends on a real
+// protocol object to do the actual communication."
+//
+// Client-side flow (paper Figure 2): admission + process() through the
+// chain, prepend the clear-text glue id, mark the header, delegate to the
+// real proto-object.  Reply flow: if the server marked the reply as
+// glue-processed, unprocess it through the chain back-to-front.
+#pragma once
+
+#include <cstdint>
+
+#include "ohpx/capability/chain.hpp"
+#include "ohpx/protocol/glue_wire.hpp"
+#include "ohpx/protocol/protocol.hpp"
+
+namespace ohpx::proto {
+
+class GlueProtocol final : public Protocol {
+ public:
+  GlueProtocol(std::uint32_t glue_id, cap::CapabilityChain chain,
+               ProtocolPtr delegate);
+
+  std::string_view name() const noexcept override { return "glue"; }
+
+  /// AND of the chain's applicability and the delegate's (paper §4.3:
+  /// "the applicability of a glue protocol is the logical AND of all its
+  /// constituent capabilities").
+  bool applicable(const CallTarget& target) const override;
+
+  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer&& payload,
+                      const CallTarget& target, CostLedger& ledger) override;
+
+  std::string describe() const override;
+
+  const cap::CapabilityChain& chain() const noexcept { return chain_; }
+  std::uint32_t glue_id() const noexcept { return glue_id_; }
+  Protocol& delegate() noexcept { return *delegate_; }
+
+ private:
+  std::uint32_t glue_id_;
+  cap::CapabilityChain chain_;
+  ProtocolPtr delegate_;
+};
+
+}  // namespace ohpx::proto

@@ -1,0 +1,55 @@
+#include "ohpx/protocol/glue_wire.hpp"
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::proto {
+
+Bytes encode_glue_proto_data(const GlueProtoData& data) {
+  wire::Buffer buf;
+  wire::Encoder enc(buf);
+  enc.put_u32(data.glue_id);
+  wire::serialize(enc, data.delegate);
+  wire::serialize(enc, data.capabilities);
+  return buf.release();
+}
+
+GlueProtoData decode_glue_proto_data(BytesView raw) {
+  wire::Decoder dec(raw);
+  GlueProtoData data;
+  data.glue_id = dec.get_u32();
+  data.delegate = wire::deserialize<ProtocolEntry>(dec);
+  data.capabilities =
+      wire::deserialize<std::vector<cap::CapabilityDescriptor>>(dec);
+  dec.expect_end();
+  return data;
+}
+
+void prepend_glue_id(wire::Buffer& payload, std::uint32_t glue_id) {
+  Bytes with_prefix;
+  with_prefix.reserve(payload.size() + 4);
+  with_prefix.push_back(static_cast<std::uint8_t>(glue_id >> 24));
+  with_prefix.push_back(static_cast<std::uint8_t>(glue_id >> 16));
+  with_prefix.push_back(static_cast<std::uint8_t>(glue_id >> 8));
+  with_prefix.push_back(static_cast<std::uint8_t>(glue_id));
+  const Bytes body = payload.release();
+  with_prefix.insert(with_prefix.end(), body.begin(), body.end());
+  payload.assign(std::move(with_prefix));
+}
+
+std::uint32_t strip_glue_id(wire::Buffer& payload) {
+  if (payload.size() < 4) {
+    throw WireError(ErrorCode::wire_truncated,
+                    "glue payload too short for glue id");
+  }
+  const BytesView head = payload.view(0, 4);
+  const std::uint32_t glue_id = (static_cast<std::uint32_t>(head[0]) << 24) |
+                                (static_cast<std::uint32_t>(head[1]) << 16) |
+                                (static_cast<std::uint32_t>(head[2]) << 8) |
+                                static_cast<std::uint32_t>(head[3]);
+  Bytes rest(payload.bytes().begin() + 4, payload.bytes().end());
+  payload.assign(std::move(rest));
+  return glue_id;
+}
+
+}  // namespace ohpx::proto

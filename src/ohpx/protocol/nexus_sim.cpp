@@ -1,0 +1,20 @@
+#include "ohpx/protocol/nexus_sim.hpp"
+
+#include "ohpx/transport/sim.hpp"
+
+namespace ohpx::proto {
+
+bool NexusSimProtocol::applicable(const CallTarget& target) const {
+  return !target.address.endpoint.empty();
+}
+
+ReplyMessage NexusSimProtocol::invoke(const wire::MessageHeader& header,
+                                      wire::Buffer&& payload,
+                                      const CallTarget& target,
+                                      CostLedger& ledger) {
+  transport::SimChannel channel(target.address.endpoint,
+                                target.placement.link());
+  return frame_roundtrip(channel, header, payload, ledger);
+}
+
+}  // namespace ohpx::proto

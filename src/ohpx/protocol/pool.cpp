@@ -1,0 +1,46 @@
+#include "ohpx/protocol/pool.hpp"
+
+#include <algorithm>
+
+namespace ohpx::proto {
+
+ProtoPool ProtoPool::standard() {
+  return ProtoPool({"glue", "shm", "tcp", "nexus-tcp"});
+}
+
+bool ProtoPool::allows(const std::string& protocol_name) const {
+  std::lock_guard lock(mutex_);
+  return std::find(allowed_.begin(), allowed_.end(), protocol_name) !=
+         allowed_.end();
+}
+
+void ProtoPool::enable(const std::string& protocol_name) {
+  std::lock_guard lock(mutex_);
+  if (std::find(allowed_.begin(), allowed_.end(), protocol_name) ==
+      allowed_.end()) {
+    allowed_.push_back(protocol_name);
+  }
+}
+
+void ProtoPool::disable(const std::string& protocol_name) {
+  std::lock_guard lock(mutex_);
+  std::erase(allowed_, protocol_name);
+}
+
+void ProtoPool::prefer(const std::string& protocol_name) {
+  std::lock_guard lock(mutex_);
+  std::erase(allowed_, protocol_name);
+  allowed_.insert(allowed_.begin(), protocol_name);
+}
+
+std::vector<std::string> ProtoPool::allowed() const {
+  std::lock_guard lock(mutex_);
+  return allowed_;
+}
+
+std::size_t ProtoPool::size() const {
+  std::lock_guard lock(mutex_);
+  return allowed_.size();
+}
+
+}  // namespace ohpx::proto

@@ -1,0 +1,48 @@
+// Protocol object pool (paper §3.1): "a repository of proto-objects,
+// ordered by preference.  An application component uses a proto-pool to
+// determine the protocols available to it for communication."
+//
+// The pool is the *client-local* half of protocol selection: the OR says
+// what the server supports, the pool says what this context allows.  User
+// control over selection (§3.2, fourth aspect) is exercised by editing the
+// pool: disabling a protocol or reordering preferences.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ohpx::proto {
+
+class ProtoPool {
+ public:
+  /// Pool allowing the standard protocols in default preference order:
+  /// glue, shm, tcp, nexus-tcp (glue first so capability-bearing entries
+  /// win whenever applicable, matching the paper's experiments).
+  static ProtoPool standard();
+
+  /// Empty pool: nothing allowed until enable() is called.
+  ProtoPool() = default;
+
+  explicit ProtoPool(std::vector<std::string> allowed)
+      : allowed_(std::move(allowed)) {}
+
+  bool allows(const std::string& protocol_name) const;
+
+  /// Appends `protocol_name` with lowest preference (idempotent).
+  void enable(const std::string& protocol_name);
+
+  void disable(const std::string& protocol_name);
+
+  /// Moves `protocol_name` to the front (highest local preference).
+  void prefer(const std::string& protocol_name);
+
+  std::vector<std::string> allowed() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> allowed_;
+};
+
+}  // namespace ohpx::proto

@@ -1,0 +1,34 @@
+#include "ohpx/protocol/protocol.hpp"
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/transport/channel.hpp"
+
+namespace ohpx::proto {
+
+ReplyMessage frame_roundtrip(transport::Channel& channel,
+                             const wire::MessageHeader& header,
+                             const wire::Buffer& payload, CostLedger& ledger) {
+  wire::Buffer request_frame;
+  {
+    ScopedRealTime timer(ledger);
+    request_frame = wire::encode_frame(header, payload.view());
+  }
+  wire::Buffer reply_frame = channel.roundtrip(request_frame, ledger);
+
+  ScopedRealTime timer(ledger);
+  BytesView body;
+  ReplyMessage reply;
+  reply.header = wire::decode_frame(reply_frame.view(), body);
+  if (reply.header.type == wire::MessageType::request) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "request frame received where reply expected");
+  }
+  if (reply.header.request_id != header.request_id) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "reply for a different request id");
+  }
+  reply.payload = wire::Buffer(body.data(), body.size());
+  return reply;
+}
+
+}  // namespace ohpx::proto

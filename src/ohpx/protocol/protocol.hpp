@@ -1,0 +1,63 @@
+// Client-side protocol object (the paper's *proto-object*, §3.1).
+//
+// A proto-object encapsulates one way of carrying a remote request to a
+// server object.  The ORB instantiates proto-objects from the OR's protocol
+// table, asks each whether it is applicable for the current placement, and
+// invokes the first applicable one the local proto-pool allows (§3.2).
+//
+// The server half (the paper's *proto-class*) is a frame handler the server
+// context binds into the transport layer; see ohpx/orb/context.*.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ohpx/common/clock.hpp"
+#include "ohpx/protocol/target.hpp"
+#include "ohpx/wire/buffer.hpp"
+#include "ohpx/wire/message.hpp"
+
+namespace ohpx::transport {
+class Channel;
+}
+
+namespace ohpx::proto {
+
+struct ReplyMessage {
+  wire::MessageHeader header;
+  wire::Buffer payload;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Registry name, e.g. "shm", "nexus-tcp", "tcp", "glue".
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Whether this protocol can serve a call to `target` (paper §4.3: every
+  /// protocol has an applicability attribute; shared memory applies only
+  /// when client and server share a machine).
+  virtual bool applicable(const CallTarget& target) const = 0;
+
+  /// Carries one request to the server and returns its reply.  `payload`
+  /// is consumed (moved) so capabilities can transform it in place without
+  /// copies.  Costs are charged to `ledger`.
+  virtual ReplyMessage invoke(const wire::MessageHeader& header,
+                              wire::Buffer&& payload, const CallTarget& target,
+                              CostLedger& ledger) = 0;
+
+  /// Human-readable description for logs ("glue[encryption,quota]→nexus-tcp").
+  virtual std::string describe() const { return std::string(name()); }
+};
+
+using ProtocolPtr = std::unique_ptr<Protocol>;
+
+/// Shared helper for concrete protocols: frames the request, performs the
+/// roundtrip on `channel`, parses and validates the reply frame.
+ReplyMessage frame_roundtrip(transport::Channel& channel,
+                             const wire::MessageHeader& header,
+                             const wire::Buffer& payload, CostLedger& ledger);
+
+}  // namespace ohpx::proto

@@ -1,0 +1,32 @@
+#include "ohpx/protocol/select.hpp"
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/common/log.hpp"
+
+namespace ohpx::proto {
+
+Protocol* select_protocol(const std::vector<ProtocolPtr>& candidates,
+                          const ProtoPool& pool, const CallTarget& target) {
+  for (const auto& candidate : candidates) {
+    if (!pool.allows(std::string(candidate->name()))) continue;
+    if (!candidate->applicable(target)) continue;
+    return candidate.get();
+  }
+  return nullptr;
+}
+
+Protocol& select_protocol_or_throw(const std::vector<ProtocolPtr>& candidates,
+                                   const ProtoPool& pool,
+                                   const CallTarget& target) {
+  Protocol* selected = select_protocol(candidates, pool, target);
+  if (selected == nullptr) {
+    throw ProtocolError(ErrorCode::protocol_no_match,
+                        "no applicable protocol for this placement "
+                        "(candidates: " +
+                            std::to_string(candidates.size()) + ")");
+  }
+  log_trace("protocol", "selected ", selected->describe());
+  return *selected;
+}
+
+}  // namespace ohpx::proto

@@ -1,0 +1,28 @@
+// Automatic run-time protocol selection (paper §3.2, third aspect):
+// "When a remote request is made, the protocols in the GP's OR are compared
+// with those in the proto-pool and the first match is used to satisfy the
+// request.  Thus, the most suitable protocol is always selected."
+//
+// The candidate list preserves the OR's preference order; a candidate wins
+// iff the local pool allows its name AND it reports itself applicable for
+// the current placement.
+#pragma once
+
+#include <vector>
+
+#include "ohpx/protocol/pool.hpp"
+#include "ohpx/protocol/protocol.hpp"
+
+namespace ohpx::proto {
+
+/// Returns the first pool-allowed, applicable protocol, or nullptr.
+Protocol* select_protocol(const std::vector<ProtocolPtr>& candidates,
+                          const ProtoPool& pool, const CallTarget& target);
+
+/// Like select_protocol but throws ProtocolError(protocol_no_match) when
+/// nothing fits.
+Protocol& select_protocol_or_throw(const std::vector<ProtocolPtr>& candidates,
+                                   const ProtoPool& pool,
+                                   const CallTarget& target);
+
+}  // namespace ohpx::proto

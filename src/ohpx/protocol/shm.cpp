@@ -1,0 +1,18 @@
+#include "ohpx/protocol/shm.hpp"
+
+#include "ohpx/transport/inproc.hpp"
+
+namespace ohpx::proto {
+
+bool ShmProtocol::applicable(const CallTarget& target) const {
+  return target.placement.same_machine() && !target.address.endpoint.empty();
+}
+
+ReplyMessage ShmProtocol::invoke(const wire::MessageHeader& header,
+                                 wire::Buffer&& payload,
+                                 const CallTarget& target, CostLedger& ledger) {
+  transport::InProcChannel channel(target.address.endpoint);
+  return frame_roundtrip(channel, header, payload, ledger);
+}
+
+}  // namespace ohpx::proto

@@ -1,0 +1,37 @@
+#include "ohpx/protocol/tcp_proto.hpp"
+
+namespace ohpx::proto {
+
+bool TcpProtocol::applicable(const CallTarget& target) const {
+  return target.address.tcp_port != 0 && !target.address.tcp_host.empty();
+}
+
+std::shared_ptr<transport::TcpChannel> TcpProtocol::channel_for(
+    const std::string& host, std::uint16_t port) {
+  std::lock_guard lock(mutex_);
+  auto& slot = channels_[{host, port}];
+  if (!slot) {
+    slot = std::make_shared<transport::TcpChannel>(host, port);
+  }
+  return slot;
+}
+
+ReplyMessage TcpProtocol::invoke(const wire::MessageHeader& header,
+                                 wire::Buffer&& payload,
+                                 const CallTarget& target, CostLedger& ledger) {
+  auto channel = channel_for(target.address.tcp_host, target.address.tcp_port);
+  try {
+    return frame_roundtrip(*channel, header, payload, ledger);
+  } catch (const TransportError&) {
+    // Connection may be stale (server restarted / migrated).  Drop the
+    // cached channel and retry once on a fresh connection.
+    {
+      std::lock_guard lock(mutex_);
+      channels_.erase({target.address.tcp_host, target.address.tcp_port});
+    }
+    channel = channel_for(target.address.tcp_host, target.address.tcp_port);
+    return frame_roundtrip(*channel, header, payload, ledger);
+  }
+}
+
+}  // namespace ohpx::proto

@@ -1,0 +1,36 @@
+// Real-socket TCP protocol: loopback TCP to the server context's listener.
+// Used by integration tests and examples that want actual kernel sockets in
+// the path; benchmarks prefer the deterministic nexus-sim protocol.
+// Connections are cached per (host, port) and re-established on failure.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "ohpx/protocol/protocol.hpp"
+#include "ohpx/transport/tcp.hpp"
+
+namespace ohpx::proto {
+
+class TcpProtocol final : public Protocol {
+ public:
+  std::string_view name() const noexcept override { return "tcp"; }
+
+  /// Applicable whenever the server context advertises a TCP listener.
+  bool applicable(const CallTarget& target) const override;
+
+  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer&& payload,
+                      const CallTarget& target, CostLedger& ledger) override;
+
+ private:
+  std::shared_ptr<transport::TcpChannel> channel_for(const std::string& host,
+                                                     std::uint16_t port);
+
+  std::mutex mutex_;
+  std::map<std::pair<std::string, std::uint16_t>,
+           std::shared_ptr<transport::TcpChannel>>
+      channels_;
+};
+
+}  // namespace ohpx::proto

@@ -1,0 +1,79 @@
+#include "ohpx/runtime/balancer.hpp"
+
+#include <algorithm>
+
+#include "ohpx/common/log.hpp"
+#include "ohpx/runtime/migration.hpp"
+
+namespace ohpx::runtime {
+
+LoadBalancer::LoadBalancer(World& world, BalancerPolicy policy)
+    : world_(world), policy_(policy) {}
+
+void LoadBalancer::track(orb::ObjectId object_id, double load_share) {
+  std::lock_guard lock(mutex_);
+  tracked_[object_id] = load_share;
+}
+
+void LoadBalancer::untrack(orb::ObjectId object_id) {
+  std::lock_guard lock(mutex_);
+  tracked_.erase(object_id);
+}
+
+orb::Context& LoadBalancer::context_on(netsim::MachineId machine) {
+  const auto existing = world_.contexts_on(machine);
+  if (!existing.empty()) return *existing.front();
+  return world_.create_context(machine);
+}
+
+std::vector<MigrationEvent> LoadBalancer::rebalance_once() {
+  std::vector<MigrationEvent> events;
+  netsim::Topology& topology = world_.topology();
+
+  std::map<orb::ObjectId, double> tracked;
+  {
+    std::lock_guard lock(mutex_);
+    tracked = tracked_;
+  }
+
+  for (netsim::MachineId machine = 0; machine < topology.machine_count();
+       ++machine) {
+    if (topology.load(machine) <= policy_.high_water) continue;
+
+    // Candidate objects on this machine, heaviest first.
+    std::vector<std::pair<orb::ObjectId, double>> candidates;
+    for (const auto& [object_id, share] : tracked) {
+      orb::Context* home = world_.find_context_of(object_id);
+      if (home != nullptr && home->machine() == machine) {
+        candidates.emplace_back(object_id, share);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    for (const auto& [object_id, share] : candidates) {
+      if (topology.load(machine) <= policy_.target_water) break;
+      if (events.size() >= policy_.max_migrations_per_round) break;
+
+      const netsim::MachineId destination = topology.least_loaded();
+      if (destination == machine) break;  // nowhere better to go
+
+      orb::Context* source = world_.find_context_of(object_id);
+      if (source == nullptr) continue;
+      orb::Context& target = context_on(destination);
+
+      try {
+        migrate_shared(object_id, *source, target);
+      } catch (const Error& e) {
+        log_warn("balancer", "skipping object ", object_id, ": ", e.what());
+        continue;
+      }
+      topology.add_load(machine, -share);
+      topology.add_load(destination, share);
+      events.push_back(MigrationEvent{object_id, machine, destination, share});
+    }
+  }
+  return events;
+}
+
+}  // namespace ohpx::runtime

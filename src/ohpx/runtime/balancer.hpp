@@ -1,0 +1,60 @@
+// High-water-mark load balancer (paper §4.3: "the load on the server's
+// machine increases beyond a high-water mark and the application decides to
+// migrate S0 to a machine residing on the LAN of client P2").
+//
+// The balancer watches the topology's per-machine load figures, and when a
+// machine exceeds the high-water mark it migrates registered objects (by
+// descending load contribution) to the least-loaded machine until the
+// source drops below the mark.  Migration re-homes glue bindings, so the
+// capability/protocol choice of every client adapts on the next call —
+// the paper's central claim about capabilities + load balancing working in
+// tandem.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "ohpx/runtime/world.hpp"
+
+namespace ohpx::runtime {
+
+struct BalancerPolicy {
+  double high_water = 0.75;  // migrate objects off machines above this
+  double target_water = 0.50;  // stop once the source is at/below this
+  std::size_t max_migrations_per_round = 8;
+};
+
+struct MigrationEvent {
+  orb::ObjectId object_id = orb::kInvalidObject;
+  netsim::MachineId from_machine = netsim::kInvalidMachine;
+  netsim::MachineId to_machine = netsim::kInvalidMachine;
+  double load_moved = 0.0;
+};
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(World& world, BalancerPolicy policy = {});
+
+  /// Registers an object as balanceable with its estimated load share.
+  void track(orb::ObjectId object_id, double load_share);
+  void untrack(orb::ObjectId object_id);
+
+  /// One balancing pass; returns the migrations performed.  Machine loads
+  /// in the topology are adjusted by each moved object's share.
+  std::vector<MigrationEvent> rebalance_once();
+
+  const BalancerPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  /// A context on `machine` to migrate into (first existing, else created).
+  orb::Context& context_on(netsim::MachineId machine);
+
+  World& world_;
+  BalancerPolicy policy_;
+  std::mutex mutex_;
+  std::map<orb::ObjectId, double> tracked_;
+};
+
+}  // namespace ohpx::runtime

@@ -1,0 +1,99 @@
+#include "ohpx/runtime/migration.hpp"
+
+#include "ohpx/capability/registry.hpp"
+#include "ohpx/common/error.hpp"
+#include "ohpx/common/log.hpp"
+
+namespace ohpx::runtime {
+namespace {
+
+orb::ServantPtr take_servant(orb::ObjectId object_id, orb::Context& from) {
+  orb::ServantPtr servant = from.find_servant(object_id);
+  if (!servant) {
+    throw ObjectError(ErrorCode::object_not_found,
+                      "migrate: object " + std::to_string(object_id) +
+                          " is not hosted in context " +
+                          std::to_string(from.id()));
+  }
+  if (!servant->migratable()) {
+    throw Error(ErrorCode::not_migratable,
+                "migrate: servant type '" + std::string(servant->type_name()) +
+                    "' is not migratable");
+  }
+  return servant;
+}
+
+/// Re-homes every glue binding of `object_id` onto `to`, preserving glue
+/// ids (clients keep using the ids baked into their ORs).  Capability
+/// state crosses via descriptors: remaining quota, remaining lease time.
+void move_glue_bindings(orb::ObjectId object_id, orb::Context& from,
+                        orb::Context& to) {
+  for (const auto& binding : from.glue_bindings_of(object_id)) {
+    cap::CapabilityChain chain =
+        cap::CapabilityRegistry::instance().instantiate_chain(
+            binding->chain.server_descriptors());
+    to.register_glue_with_id(binding->glue_id, object_id, std::move(chain));
+  }
+  from.remove_glue_of(object_id);
+}
+
+void finish_migration(orb::ObjectId object_id, orb::Context& from,
+                      orb::Context& to, orb::ServantPtr servant) {
+  move_glue_bindings(object_id, from, to);
+  // Target first (publishes the new location), then source teardown — a
+  // concurrent request always finds a live home.
+  to.activate_with_id(object_id, std::move(servant));
+  from.deactivate(object_id, /*forget_location=*/false);
+  log_info("migration", "object ", object_id, " moved ctx ", from.id(), " -> ",
+           to.id(), " (machine ", to.topology().machine_name(to.machine()),
+           ")");
+}
+
+}  // namespace
+
+ServantTypeRegistry& ServantTypeRegistry::instance() {
+  static ServantTypeRegistry registry;
+  return registry;
+}
+
+void ServantTypeRegistry::register_type(
+    const std::string& type_name, std::function<orb::ServantPtr()> factory) {
+  std::lock_guard lock(mutex_);
+  factories_[type_name] = std::move(factory);
+}
+
+bool ServantTypeRegistry::contains(const std::string& type_name) const {
+  std::lock_guard lock(mutex_);
+  return factories_.count(type_name) != 0;
+}
+
+orb::ServantPtr ServantTypeRegistry::create(const std::string& type_name) const {
+  std::function<orb::ServantPtr()> factory;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = factories_.find(type_name);
+    if (it == factories_.end()) {
+      throw Error(ErrorCode::not_migratable,
+                  "no servant factory registered for type '" + type_name + "'");
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+void migrate_shared(orb::ObjectId object_id, orb::Context& from,
+                    orb::Context& to) {
+  orb::ServantPtr servant = take_servant(object_id, from);
+  finish_migration(object_id, from, to, std::move(servant));
+}
+
+void migrate_copy(orb::ObjectId object_id, orb::Context& from,
+                  orb::Context& to) {
+  orb::ServantPtr source = take_servant(object_id, from);
+  orb::ServantPtr target =
+      ServantTypeRegistry::instance().create(std::string(source->type_name()));
+  target->restore(source->snapshot());
+  finish_migration(object_id, from, to, std::move(target));
+}
+
+}  // namespace ohpx::runtime

@@ -1,0 +1,65 @@
+// Object migration (paper §4.3): "Open HPC++ provides a facility for
+// objects to migrate from one context to another".  Migration is the
+// engine behind both the Figure 4 experiment (a server hopping machines
+// while its clients adapt protocols per hop) and the load balancer.
+//
+// Two modes:
+//  * migrate_shared — transfers the live servant pointer and its glue
+//    bindings to the target context (in-process "pseudo migrate", exactly
+//    what the paper's experiment does).
+//  * migrate_copy — snapshot()/restore() through the ServantTypeRegistry,
+//    exercising the path a cross-process migration would take.  Capability
+//    state travels via descriptors (a quota keeps its remaining count, a
+//    lease its remaining time).
+//
+// Ordering guarantees: the object is activated (and its location
+// republished) at the target *before* it is deactivated at the source, so
+// a concurrent client sees either the old home (which still answers) or
+// the new one; the stale-reference retry in CallCore covers the residual
+// race.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "ohpx/orb/context.hpp"
+
+namespace ohpx::runtime {
+
+/// type name → default-constructed servant factory, needed by
+/// migrate_copy to materialize the target-side instance.
+class ServantTypeRegistry {
+ public:
+  static ServantTypeRegistry& instance();
+
+  void register_type(const std::string& type_name,
+                     std::function<orb::ServantPtr()> factory);
+
+  template <typename T>
+  void register_type() {
+    register_type(std::string(T::kTypeName),
+                  [] { return std::make_shared<T>(); });
+  }
+
+  bool contains(const std::string& type_name) const;
+
+  /// Throws Error(not_migratable) for unregistered types.
+  orb::ServantPtr create(const std::string& type_name) const;
+
+ private:
+  ServantTypeRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::function<orb::ServantPtr()>> factories_;
+};
+
+/// Moves the live servant instance from `from` to `to`.
+void migrate_shared(orb::ObjectId object_id, orb::Context& from,
+                    orb::Context& to);
+
+/// Snapshot/restore migration through the type registry.
+void migrate_copy(orb::ObjectId object_id, orb::Context& from,
+                  orb::Context& to);
+
+}  // namespace ohpx::runtime

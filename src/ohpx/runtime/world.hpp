@@ -1,0 +1,58 @@
+// World: composition root for one Open HPC++ "universe" — the topology,
+// the location service, and the contexts living on its machines.  A World
+// is what an application (or a test/benchmark) builds first; everything
+// else hangs off it.
+//
+// One process can host several independent Worlds (tests do), because all
+// cross-context traffic is addressed through per-context endpoints rather
+// than globals.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ohpx/netsim/topology.hpp"
+#include "ohpx/orb/context.hpp"
+#include "ohpx/orb/location.hpp"
+
+namespace ohpx::runtime {
+
+class World {
+ public:
+  World() = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  netsim::Topology& topology() noexcept { return topology_; }
+  orb::LocationService& location() noexcept { return location_; }
+
+  netsim::LanId add_lan(const std::string& name) {
+    return topology_.add_lan(name);
+  }
+  netsim::MachineId add_machine(const std::string& name, netsim::LanId lan) {
+    return topology_.add_machine(name, lan);
+  }
+
+  /// Creates a context on `machine`; the World owns it.
+  orb::Context& create_context(netsim::MachineId machine);
+
+  std::size_t context_count() const;
+
+  /// Context by id; throws ObjectError(context_not_found).
+  orb::Context& context(orb::ContextId id);
+
+  /// Contexts placed on `machine` (pointers remain owned by the World).
+  std::vector<orb::Context*> contexts_on(netsim::MachineId machine);
+
+  /// The context currently hosting `object_id`, or nullptr.
+  orb::Context* find_context_of(orb::ObjectId object_id);
+
+ private:
+  netsim::Topology topology_;
+  orb::LocationService location_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<orb::Context>> contexts_;
+};
+
+}  // namespace ohpx::runtime

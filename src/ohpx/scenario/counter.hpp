@@ -1,0 +1,55 @@
+// Migratable counter: the minimal stateful servant, used to verify that
+// migration preserves application state (snapshot/restore) and that global
+// pointers keep working across hops.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/orb/servant.hpp"
+#include "ohpx/orb/stub.hpp"
+
+namespace ohpx::scenario {
+
+class CounterServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "Counter";
+
+  enum Method : std::uint32_t {
+    kAdd = 1,  // i64 -> i64 (new value)
+    kGet = 2,  // () -> i64
+    kSet = 3,  // i64 -> ()
+  };
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override;
+
+  bool migratable() const noexcept override { return true; }
+  Bytes snapshot() const override;
+  void restore(BytesView snapshot_bytes) override;
+
+  std::int64_t value() const;
+  void set_value(std::int64_t value);
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t value_ = 0;
+};
+
+class CounterStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = CounterServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  std::int64_t add(std::int64_t delta) {
+    return call<std::int64_t>(CounterServant::kAdd, delta);
+  }
+  std::int64_t get() { return call<std::int64_t>(CounterServant::kGet); }
+  void set(std::int64_t value) { call<void>(CounterServant::kSet, value); }
+};
+
+using CounterPointer = orb::GlobalPointer<CounterStub>;
+
+}  // namespace ohpx::scenario

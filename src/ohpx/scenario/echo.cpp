@@ -1,0 +1,48 @@
+#include "ohpx/scenario/echo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ohpx::scenario {
+
+void EchoServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
+                           wire::Encoder& out) {
+  switch (method_id) {
+    case kEcho: {
+      auto [values] = orb::unmarshal<std::vector<std::int32_t>>(in);
+      orb::marshal_result(out, values);
+      return;
+    }
+    case kSum: {
+      auto [values] = orb::unmarshal<std::vector<std::int32_t>>(in);
+      std::int64_t total = 0;
+      for (std::int32_t v : values) total += v;
+      orb::marshal_result(out, total);
+      return;
+    }
+    case kPing: {
+      orb::marshal_result(out, pings_.fetch_add(1) + 1);
+      return;
+    }
+    case kReverse: {
+      auto [text] = orb::unmarshal<std::string>(in);
+      std::reverse(text.begin(), text.end());
+      orb::marshal_result(out, text);
+      return;
+    }
+    case kFail:
+      throw std::runtime_error("echo failed");
+    default:
+      orb::unknown_method(kTypeName, method_id);
+  }
+}
+
+Bytes EchoServant::snapshot() const {
+  return wire::encode_value(pings_.load()).release();
+}
+
+void EchoServant::restore(BytesView snapshot_bytes) {
+  pings_.store(wire::decode_value<std::uint64_t>(snapshot_bytes));
+}
+
+}  // namespace ohpx::scenario

@@ -1,0 +1,73 @@
+// Echo service: the paper's experimental workload ("the requests exchange
+// an array of integers between the client and the server", §5).  Also the
+// standard guinea pig for tests and examples.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/orb/servant.hpp"
+#include "ohpx/orb/stub.hpp"
+
+namespace ohpx::scenario {
+
+class EchoServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "Echo";
+
+  enum Method : std::uint32_t {
+    kEcho = 1,     // vector<i32> -> vector<i32> (identity)
+    kSum = 2,      // vector<i32> -> i64
+    kPing = 3,     // () -> u64 (number of pings so far)
+    kReverse = 4,  // string -> string
+    kFail = 5,     // () -> throws a std::runtime_error("echo failed")
+  };
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override;
+
+  bool migratable() const noexcept override { return true; }
+  Bytes snapshot() const override;
+  void restore(BytesView snapshot_bytes) override;
+
+  std::uint64_t pings() const noexcept { return pings_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> pings_{0};
+};
+
+class EchoStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = EchoServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  std::vector<std::int32_t> echo(const std::vector<std::int32_t>& values) {
+    return call<std::vector<std::int32_t>>(EchoServant::kEcho, values);
+  }
+
+  /// Echo with cost accounting — the benchmark harness entry point.
+  std::vector<std::int32_t> echo_with_cost(CostLedger& ledger,
+                                           const std::vector<std::int32_t>& values) {
+    return call_with_cost<std::vector<std::int32_t>>(&ledger,
+                                                     EchoServant::kEcho, values);
+  }
+
+  std::int64_t sum(const std::vector<std::int32_t>& values) {
+    return call<std::int64_t>(EchoServant::kSum, values);
+  }
+
+  std::uint64_t ping() { return call<std::uint64_t>(EchoServant::kPing); }
+
+  std::string reverse(const std::string& text) {
+    return call<std::string>(EchoServant::kReverse, text);
+  }
+
+  void fail() { call<void>(EchoServant::kFail); }
+};
+
+using EchoPointer = orb::GlobalPointer<EchoStub>;
+
+}  // namespace ohpx::scenario

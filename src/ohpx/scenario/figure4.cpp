@@ -1,0 +1,89 @@
+#include "ohpx/scenario/figure4.hpp"
+
+#include "ohpx/capability/builtin/authentication.hpp"
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/runtime/migration.hpp"
+
+namespace ohpx::scenario {
+
+Figure4Scenario::Figure4Scenario(netsim::LinkSpec lan_link,
+                                 netsim::LinkSpec wan_link,
+                                 std::uint64_t quota_limit) {
+  const netsim::LanId lan_a = world_.add_lan("lan-a");
+  const netsim::LanId lan_b = world_.add_lan("lan-b");
+  const netsim::LanId lan_c = world_.add_lan("lan-c");
+  world_.topology().set_campus(lan_a, 0);
+  world_.topology().set_campus(lan_b, 0);
+  world_.topology().set_campus(lan_c, 1);
+  world_.topology().set_lan_link(lan_a, lan_link);
+  world_.topology().set_lan_link(lan_b, lan_link);
+  world_.topology().set_lan_link(lan_c, lan_link);
+  // Inter-LAN traffic rides the same physical network in the paper's
+  // testbed; campus hops share the LAN link, the remote campus is WAN.
+  world_.topology().set_default_wan_link(wan_link);
+
+  m0_ = world_.add_machine("M0", lan_a);
+  m3_ = world_.add_machine("M3", lan_a);
+  m2_ = world_.add_machine("M2", lan_b);
+  m1_ = world_.add_machine("M1", lan_c);
+  // Same-campus LAN pairs use the LAN link (the campus backbone).
+  world_.topology().set_wan_link(lan_a, lan_b, lan_link);
+
+  client_context_ = &world_.create_context(m0_);
+  ctx_m0_ = &world_.create_context(m0_);
+  ctx_m1_ = &world_.create_context(m1_);
+  ctx_m2_ = &world_.create_context(m2_);
+  ctx_m3_ = &world_.create_context(m3_);
+
+  // Figure 4-B's protocol table.  The keys are demo material shared by
+  // client and server copies of the capabilities.
+  const crypto::Key128 auth_key = crypto::Key128::from_seed(0xf16472u);
+  auto security = std::make_shared<cap::AuthenticationCapability>(
+      auth_key, "figure4-client", cap::Scope::cross_campus);
+  auto timeout_both = std::make_shared<cap::QuotaCapability>(
+      quota_limit, cap::Scope::cross_lan);
+  auto timeout_only = std::make_shared<cap::QuotaCapability>(
+      quota_limit, cap::Scope::cross_lan);
+
+  auto servant = std::make_shared<EchoServant>();
+  ref_ = orb::RefBuilder(*ctx_m1_, servant)
+             .glue({timeout_both, security}, "nexus-tcp")
+             .glue({timeout_only}, "nexus-tcp")
+             .shm()
+             .nexus()
+             .build();
+  object_id_ = ref_.object_id();
+}
+
+EchoPointer Figure4Scenario::client_pointer() {
+  return EchoPointer(*client_context_, ref_);
+}
+
+void Figure4Scenario::migrate_to(netsim::MachineId machine) {
+  orb::Context* from = world_.find_context_of(object_id_);
+  if (from == nullptr) {
+    throw ObjectError(ErrorCode::object_not_found,
+                      "figure4: server object lost");
+  }
+  orb::Context* to = nullptr;
+  if (machine == m0_) to = ctx_m0_;
+  else if (machine == m1_) to = ctx_m1_;
+  else if (machine == m2_) to = ctx_m2_;
+  else if (machine == m3_) to = ctx_m3_;
+  if (to == nullptr) {
+    throw Error(ErrorCode::internal, "figure4: unknown machine");
+  }
+  runtime::migrate_shared(object_id_, *from, *to);
+}
+
+netsim::MachineId Figure4Scenario::server_machine() {
+  orb::Context* context = world_.find_context_of(object_id_);
+  if (context == nullptr) {
+    throw ObjectError(ErrorCode::object_not_found,
+                      "figure4: server object lost");
+  }
+  return context->machine();
+}
+
+}  // namespace ohpx::scenario

@@ -1,0 +1,74 @@
+// The paper's Figure 5 experimental setup, shared by the benchmark suite
+// and the shape-assertion tests: one LAN carrying the link under test
+// (ATM or Ethernet), the client on M0, the server on M1, and the four
+// protocol configurations of the figure — glue(timeout), glue(timeout +
+// security), plain nexus, and shared memory (server co-located on M0).
+#pragma once
+
+#include <memory>
+
+#include "ohpx/capability/builtin/authentication.hpp"
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx::scenario {
+
+struct Figure5World {
+  explicit Figure5World(netsim::LinkSpec link) {
+    const netsim::LanId lan = world.add_lan("testbed");
+    world.topology().set_lan_link(lan, std::move(link));
+    m_client = world.add_machine("M0", lan);
+    m_server = world.add_machine("M1", lan);
+    client_ctx = &world.create_context(m_client);
+    server_ctx = &world.create_context(m_server);
+    local_server_ctx = &world.create_context(m_client);
+  }
+
+  /// Series 1: glue with timeout (quota) only.
+  EchoPointer glue_timeout() {
+    auto quota = std::make_shared<cap::QuotaCapability>(1ull << 40);
+    auto ref = orb::RefBuilder(*server_ctx, std::make_shared<EchoServant>())
+                   .glue({quota}, "nexus-tcp")
+                   .build();
+    return EchoPointer(*client_ctx, ref);
+  }
+
+  /// Series 2: glue with timeout + security (quota + authentication).
+  EchoPointer glue_timeout_security() {
+    auto quota = std::make_shared<cap::QuotaCapability>(1ull << 40);
+    auto auth = std::make_shared<cap::AuthenticationCapability>(
+        crypto::Key128::from_seed(0xbe9c5), "bench-client",
+        cap::Scope::always);
+    auto ref = orb::RefBuilder(*server_ctx, std::make_shared<EchoServant>())
+                   .glue({quota, auth}, "nexus-tcp")
+                   .build();
+    return EchoPointer(*client_ctx, ref);
+  }
+
+  /// Series 3: plain Nexus TCP (simulated link, no capabilities).
+  EchoPointer nexus() {
+    auto ref = orb::RefBuilder(*server_ctx, std::make_shared<EchoServant>())
+                   .nexus()
+                   .build();
+    return EchoPointer(*client_ctx, ref);
+  }
+
+  /// Series 4: shared memory (server co-located with the client).
+  EchoPointer shm() {
+    auto ref =
+        orb::RefBuilder(*local_server_ctx, std::make_shared<EchoServant>())
+            .shm()
+            .build();
+    return EchoPointer(*client_ctx, ref);
+  }
+
+  runtime::World world;
+  netsim::MachineId m_client{}, m_server{};
+  orb::Context* client_ctx = nullptr;
+  orb::Context* server_ctx = nullptr;
+  orb::Context* local_server_ctx = nullptr;
+};
+
+}  // namespace ohpx::scenario

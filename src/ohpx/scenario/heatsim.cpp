@@ -1,0 +1,173 @@
+#include "ohpx/scenario/heatsim.hpp"
+
+#include <algorithm>
+
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::scenario {
+namespace {
+
+constexpr std::uint32_t kMaxDimension = 4096;
+constexpr double kAlpha = 0.2;  // diffusion coefficient per sweep
+
+}  // namespace
+
+void HeatSimServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
+                              wire::Encoder& out) {
+  switch (method_id) {
+    case kInit: {
+      auto [rows, cols, ambient] =
+          orb::unmarshal<std::uint32_t, std::uint32_t, double>(in);
+      init(rows, cols, ambient);
+      return;
+    }
+    case kInject: {
+      auto [row, col, temperature] =
+          orb::unmarshal<std::uint32_t, std::uint32_t, double>(in);
+      inject(row, col, temperature);
+      return;
+    }
+    case kStep: {
+      auto [iterations] = orb::unmarshal<std::uint32_t>(in);
+      orb::marshal_result(out, step(iterations));
+      return;
+    }
+    case kSample: {
+      auto [row, col] = orb::unmarshal<std::uint32_t, std::uint32_t>(in);
+      orb::marshal_result(out, sample(row, col));
+      return;
+    }
+    case kFetchMap: {
+      auto [stride] = orb::unmarshal<std::uint32_t>(in);
+      orb::marshal_result(out, fetch_map(stride));
+      return;
+    }
+    case kStats: {
+      orb::marshal_result(out, stats());
+      return;
+    }
+    default:
+      orb::unknown_method(kTypeName, method_id);
+  }
+}
+
+void HeatSimServant::init(std::uint32_t rows, std::uint32_t cols,
+                          double ambient) {
+  if (rows == 0 || cols == 0 || rows > kMaxDimension || cols > kMaxDimension) {
+    throw Error(ErrorCode::remote_application_error,
+                "heatsim: grid dimensions out of range");
+  }
+  std::lock_guard lock(mutex_);
+  rows_ = rows;
+  cols_ = cols;
+  grid_.assign(static_cast<std::size_t>(rows) * cols, ambient);
+  scratch_ = grid_;
+}
+
+void HeatSimServant::check_initialized() const {
+  if (grid_.empty()) {
+    throw Error(ErrorCode::remote_application_error,
+                "heatsim: not initialized");
+  }
+}
+
+void HeatSimServant::check_cell(std::uint32_t row, std::uint32_t col) const {
+  if (row >= rows_ || col >= cols_) {
+    throw Error(ErrorCode::remote_application_error,
+                "heatsim: cell out of range");
+  }
+}
+
+void HeatSimServant::inject(std::uint32_t row, std::uint32_t col,
+                            double temperature) {
+  std::lock_guard lock(mutex_);
+  check_initialized();
+  check_cell(row, col);
+  grid_[index(row, col)] = temperature;
+}
+
+double HeatSimServant::step(std::uint32_t iterations) {
+  std::lock_guard lock(mutex_);
+  check_initialized();
+  double max_delta = 0.0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    max_delta = 0.0;
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      for (std::uint32_t c = 0; c < cols_; ++c) {
+        const double center = grid_[index(r, c)];
+        const double up = r > 0 ? grid_[index(r - 1, c)] : center;
+        const double down = r + 1 < rows_ ? grid_[index(r + 1, c)] : center;
+        const double left = c > 0 ? grid_[index(r, c - 1)] : center;
+        const double right = c + 1 < cols_ ? grid_[index(r, c + 1)] : center;
+        const double next =
+            center + kAlpha * (up + down + left + right - 4.0 * center);
+        scratch_[index(r, c)] = next;
+        max_delta = std::max(max_delta, std::abs(next - center));
+      }
+    }
+    grid_.swap(scratch_);
+  }
+  return max_delta;
+}
+
+double HeatSimServant::sample(std::uint32_t row, std::uint32_t col) const {
+  std::lock_guard lock(mutex_);
+  check_initialized();
+  check_cell(row, col);
+  return grid_[index(row, col)];
+}
+
+std::vector<double> HeatSimServant::fetch_map(std::uint32_t stride) const {
+  std::lock_guard lock(mutex_);
+  check_initialized();
+  if (stride == 0) stride = 1;
+  std::vector<double> map;
+  map.reserve((rows_ / stride + 1) * (cols_ / stride + 1));
+  for (std::uint32_t r = 0; r < rows_; r += stride) {
+    for (std::uint32_t c = 0; c < cols_; c += stride) {
+      map.push_back(grid_[index(r, c)]);
+    }
+  }
+  return map;
+}
+
+std::pair<double, double> HeatSimServant::stats() const {
+  std::lock_guard lock(mutex_);
+  check_initialized();
+  const auto [lo, hi] = std::minmax_element(grid_.begin(), grid_.end());
+  return {*lo, *hi};
+}
+
+std::uint64_t HeatSimServant::cells() const {
+  std::lock_guard lock(mutex_);
+  return grid_.size();
+}
+
+Bytes HeatSimServant::snapshot() const {
+  std::lock_guard lock(mutex_);
+  wire::Buffer buf;
+  wire::Encoder enc(buf);
+  enc.put_u32(rows_);
+  enc.put_u32(cols_);
+  wire::serialize(enc, grid_);
+  return buf.release();
+}
+
+void HeatSimServant::restore(BytesView snapshot_bytes) {
+  wire::Decoder dec(snapshot_bytes);
+  const std::uint32_t rows = dec.get_u32();
+  const std::uint32_t cols = dec.get_u32();
+  auto grid = wire::deserialize<std::vector<double>>(dec);
+  dec.expect_end();
+  if (grid.size() != static_cast<std::size_t>(rows) * cols) {
+    throw WireError(ErrorCode::wire_bad_value,
+                    "heatsim snapshot grid size mismatch");
+  }
+  std::lock_guard lock(mutex_);
+  rows_ = rows;
+  cols_ = cols;
+  grid_ = std::move(grid);
+  scratch_ = grid_;
+}
+
+}  // namespace ohpx::scenario

@@ -1,0 +1,97 @@
+// Environmental simulation scenario (paper §1): "a large environmental
+// simulation running on a multi-processor supercomputer at a national
+// lab", with clients that feed data in and clients that fetch maps out.
+//
+// The simulation is a real computation — 2D heat diffusion (Jacobi
+// iteration) on a dense grid — so benchmarks over it exercise a genuine
+// compute/communicate ratio, and migration moves real state (the full
+// grid travels through snapshot/restore).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/orb/servant.hpp"
+#include "ohpx/orb/stub.hpp"
+
+namespace ohpx::scenario {
+
+class HeatSimServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "HeatSim";
+
+  enum Method : std::uint32_t {
+    kInit = 1,      // (rows u32, cols u32, ambient f64) -> ()
+    kInject = 2,    // (row u32, col u32, temperature f64) -> ()
+    kStep = 3,      // (iterations u32) -> f64 (max cell delta of last sweep)
+    kSample = 4,    // (row u32, col u32) -> f64
+    kFetchMap = 5,  // (stride u32) -> vector<f64> (downsampled grid)
+    kStats = 6,     // () -> pair<f64,f64> (min, max temperature)
+  };
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override;
+
+  bool migratable() const noexcept override { return true; }
+  Bytes snapshot() const override;
+  void restore(BytesView snapshot_bytes) override;
+
+  // Local API (used by dispatch and directly by tests).
+  void init(std::uint32_t rows, std::uint32_t cols, double ambient);
+  void inject(std::uint32_t row, std::uint32_t col, double temperature);
+  double step(std::uint32_t iterations);
+  double sample(std::uint32_t row, std::uint32_t col) const;
+  std::vector<double> fetch_map(std::uint32_t stride) const;
+  std::pair<double, double> stats() const;
+  std::uint64_t cells() const;
+
+ private:
+  void check_initialized() const;
+  void check_cell(std::uint32_t row, std::uint32_t col) const;
+  std::size_t index(std::uint32_t row, std::uint32_t col) const {
+    return static_cast<std::size_t>(row) * cols_ + col;
+  }
+
+  mutable std::mutex mutex_;
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<double> grid_;
+  std::vector<double> scratch_;
+};
+
+class HeatSimStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = HeatSimServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  void init(std::uint32_t rows, std::uint32_t cols, double ambient) {
+    call<void>(HeatSimServant::kInit, rows, cols, ambient);
+  }
+  void inject(std::uint32_t row, std::uint32_t col, double temperature) {
+    call<void>(HeatSimServant::kInject, row, col, temperature);
+  }
+  double step(std::uint32_t iterations) {
+    return call<double>(HeatSimServant::kStep, iterations);
+  }
+  double sample(std::uint32_t row, std::uint32_t col) {
+    return call<double>(HeatSimServant::kSample, row, col);
+  }
+  std::vector<double> fetch_map(std::uint32_t stride) {
+    return call<std::vector<double>>(HeatSimServant::kFetchMap, stride);
+  }
+  std::vector<double> fetch_map_with_cost(CostLedger& ledger,
+                                          std::uint32_t stride) {
+    return call_with_cost<std::vector<double>>(&ledger,
+                                               HeatSimServant::kFetchMap, stride);
+  }
+  std::pair<double, double> stats() {
+    return call<std::pair<double, double>>(HeatSimServant::kStats);
+  }
+};
+
+using HeatSimPointer = orb::GlobalPointer<HeatSimStub>;
+
+}  // namespace ohpx::scenario

@@ -1,0 +1,108 @@
+#include "ohpx/scenario/ticker.hpp"
+
+#include "ohpx/common/log.hpp"
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::scenario {
+
+void TickListenerServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
+                                   wire::Encoder& out) {
+  (void)out;
+  if (method_id != kOnTick) orb::unknown_method(kTypeName, method_id);
+  auto [value] = orb::unmarshal<std::int32_t>(in);
+  std::lock_guard lock(mutex_);
+  received_.push_back(value);
+}
+
+std::vector<std::int32_t> TickListenerServant::received() const {
+  std::lock_guard lock(mutex_);
+  return received_;
+}
+
+Bytes TickListenerServant::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return wire::encode_value(received_).release();
+}
+
+void TickListenerServant::restore(BytesView snapshot_bytes) {
+  auto values = wire::decode_value<std::vector<std::int32_t>>(snapshot_bytes);
+  std::lock_guard lock(mutex_);
+  received_ = std::move(values);
+}
+
+void TickerServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
+                             wire::Encoder& out) {
+  switch (method_id) {
+    case kSubscribe: {
+      auto [raw] = orb::unmarshal<Bytes>(in);
+      orb::marshal_result(out, subscribe(orb::ObjectRef::from_bytes(raw)));
+      return;
+    }
+    case kUnsubscribe: {
+      auto [token] = orb::unmarshal<std::uint32_t>(in);
+      orb::marshal_result(out, unsubscribe(token));
+      return;
+    }
+    case kPublish: {
+      auto [value] = orb::unmarshal<std::int32_t>(in);
+      orb::marshal_result(out, publish(value));
+      return;
+    }
+    case kCount:
+      orb::marshal_result(out, count());
+      return;
+    default:
+      orb::unknown_method(kTypeName, method_id);
+  }
+}
+
+std::uint32_t TickerServant::subscribe(const orb::ObjectRef& listener) {
+  if (listener.type_name() != TickListenerServant::kTypeName) {
+    throw ObjectError(ErrorCode::type_mismatch,
+                      "ticker: subscriber must be a TickListener");
+  }
+  std::lock_guard lock(mutex_);
+  const std::uint32_t token = next_token_++;
+  subscribers_.emplace(token, listener);
+  return token;
+}
+
+bool TickerServant::unsubscribe(std::uint32_t token) {
+  std::lock_guard lock(mutex_);
+  return subscribers_.erase(token) != 0;
+}
+
+std::uint32_t TickerServant::publish(std::int32_t value) {
+  // Copy the subscriber list so callbacks run without holding the lock
+  // (a subscriber may re-enter subscribe/unsubscribe).
+  std::vector<std::pair<std::uint32_t, orb::ObjectRef>> snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot.assign(subscribers_.begin(), subscribers_.end());
+  }
+
+  std::uint32_t notified = 0;
+  std::vector<std::uint32_t> dead;
+  for (const auto& [token, ref] : snapshot) {
+    try {
+      TickListenerStub listener(home_, ref);
+      listener.on_tick_oneway(value);
+      ++notified;
+    } catch (const Error& e) {
+      log_debug("ticker", "dropping dead subscriber ", token, ": ", e.what());
+      dead.push_back(token);
+    }
+  }
+  if (!dead.empty()) {
+    std::lock_guard lock(mutex_);
+    for (const std::uint32_t token : dead) subscribers_.erase(token);
+  }
+  return notified;
+}
+
+std::uint32_t TickerServant::count() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::uint32_t>(subscribers_.size());
+}
+
+}  // namespace ohpx::scenario

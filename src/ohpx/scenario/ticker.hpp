@@ -1,0 +1,108 @@
+// Publish/subscribe over callbacks: object references as first-class
+// callback handles.
+//
+// Contexts are symmetric in this ORB — any process that holds a reference
+// can also export objects — so a client subscribes by handing the server a
+// reference to its *own* listener object; the server notifies subscribers
+// with oneway calls (losing a slow subscriber must not stall the
+// publisher).  Subscriptions whose references go stale are dropped on the
+// next publish.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "ohpx/orb/context.hpp"
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/orb/servant.hpp"
+#include "ohpx/orb/stub.hpp"
+
+namespace ohpx::scenario {
+
+/// Subscriber-side servant: receives ticks.
+class TickListenerServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "TickListener";
+  enum Method : std::uint32_t { kOnTick = 1 };
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override;
+
+  bool migratable() const noexcept override { return true; }
+  Bytes snapshot() const override;
+  void restore(BytesView snapshot_bytes) override;
+
+  std::vector<std::int32_t> received() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::int32_t> received_;
+};
+
+class TickListenerStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = TickListenerServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  void on_tick_oneway(std::int32_t value) {
+    call_oneway(TickListenerServant::kOnTick, value);
+  }
+};
+
+/// Publisher-side servant: manages subscriptions and fans ticks out.
+/// Needs its hosting context to bind subscriber references for callbacks.
+class TickerServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "Ticker";
+  enum Method : std::uint32_t {
+    kSubscribe = 1,    // (ref bytes) -> u32 subscription token
+    kUnsubscribe = 2,  // (token u32) -> bool existed
+    kPublish = 3,      // (value i32) -> u32 subscribers notified
+    kCount = 4,        // () -> u32 active subscriptions
+  };
+
+  explicit TickerServant(orb::Context& home) : home_(home) {}
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override;
+
+  std::uint32_t subscribe(const orb::ObjectRef& listener);
+  bool unsubscribe(std::uint32_t token);
+
+  /// Notifies every subscriber (oneway); returns how many were reached.
+  /// Subscribers whose references fail are dropped.
+  std::uint32_t publish(std::int32_t value);
+
+  std::uint32_t count() const;
+
+ private:
+  orb::Context& home_;
+  mutable std::mutex mutex_;
+  std::uint32_t next_token_ = 1;
+  std::map<std::uint32_t, orb::ObjectRef> subscribers_;
+};
+
+class TickerStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = TickerServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  std::uint32_t subscribe(const orb::ObjectRef& listener) {
+    return call<std::uint32_t>(TickerServant::kSubscribe, listener.to_bytes());
+  }
+  bool unsubscribe(std::uint32_t token) {
+    return call<bool>(TickerServant::kUnsubscribe, token);
+  }
+  std::uint32_t publish(std::int32_t value) {
+    return call<std::uint32_t>(TickerServant::kPublish, value);
+  }
+  std::uint32_t count() { return call<std::uint32_t>(TickerServant::kCount); }
+};
+
+using TickerPointer = orb::GlobalPointer<TickerStub>;
+
+}  // namespace ohpx::scenario

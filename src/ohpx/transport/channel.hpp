@@ -1,0 +1,38 @@
+// Transport abstraction under the protocol layer.
+//
+// A Channel is a bidirectional request/reply bearer: the client-side
+// proto-object hands it a fully framed request and gets back the framed
+// reply.  The server side is an Endpoint — a named frame handler a channel
+// delivers into.  Channels charge their costs (real or modeled) to the
+// caller's CostLedger.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ohpx/common/clock.hpp"
+#include "ohpx/wire/buffer.hpp"
+
+namespace ohpx::transport {
+
+/// Server-side frame handler: consumes a request frame, produces the reply
+/// frame.  Must be thread-safe; may be invoked concurrently.
+using FrameHandler = std::function<wire::Buffer(const wire::Buffer&)>;
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends `request`, blocks for the reply.  Cost of the exchange (real
+  /// wall time or modeled wire time) is added to `ledger`.
+  virtual wire::Buffer roundtrip(const wire::Buffer& request,
+                                 CostLedger& ledger) = 0;
+
+  /// Human-readable description for logs.
+  virtual std::string describe() const = 0;
+};
+
+using ChannelPtr = std::unique_ptr<Channel>;
+
+}  // namespace ohpx::transport

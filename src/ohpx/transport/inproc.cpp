@@ -1,0 +1,66 @@
+#include "ohpx/transport/inproc.hpp"
+
+#include <utility>
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx::transport {
+
+EndpointRegistry& EndpointRegistry::instance() {
+  static EndpointRegistry registry;
+  return registry;
+}
+
+void EndpointRegistry::bind(const std::string& name, FrameHandler handler) {
+  std::lock_guard lock(mutex_);
+  handlers_[name] = std::move(handler);
+}
+
+void EndpointRegistry::unbind(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  handlers_.erase(name);
+}
+
+FrameHandler EndpointRegistry::lookup(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = handlers_.find(name);
+  if (it == handlers_.end()) {
+    throw TransportError(ErrorCode::transport_unknown_endpoint,
+                         "no endpoint bound to '" + name + "'");
+  }
+  return it->second;
+}
+
+bool EndpointRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return handlers_.count(name) != 0;
+}
+
+std::size_t EndpointRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return handlers_.size();
+}
+
+void EndpointRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  handlers_.clear();
+}
+
+InProcChannel::InProcChannel(std::string endpoint)
+    : endpoint_(std::move(endpoint)) {}
+
+wire::Buffer InProcChannel::roundtrip(const wire::Buffer& request,
+                                      CostLedger& ledger) {
+  FrameHandler handler = EndpointRegistry::instance().lookup(endpoint_);
+  ledger.add_bytes_sent(request.size());
+  ScopedRealTime timer(ledger);
+  wire::Buffer reply = handler(request);
+  ledger.add_bytes_received(reply.size());
+  return reply;
+}
+
+std::string InProcChannel::describe() const {
+  return "inproc:" + endpoint_;
+}
+
+}  // namespace ohpx::transport

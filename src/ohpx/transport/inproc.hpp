@@ -1,0 +1,60 @@
+// In-process transport: a process-wide registry of named endpoints and a
+// channel that calls the bound handler directly.  This is the bearer for
+// the shared-memory protocol and (wrapped in a SimChannel) for the
+// simulated network protocols.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "ohpx/transport/channel.hpp"
+
+namespace ohpx::transport {
+
+/// Process-wide name → handler table.  An "endpoint name" plays the role
+/// of a host:port for in-process communication; proto-data inside object
+/// references carries these names.
+class EndpointRegistry {
+ public:
+  static EndpointRegistry& instance();
+
+  /// Binds `name`; rebinding an existing name replaces the handler (this is
+  /// what migration does when a context re-homes an object's endpoint).
+  void bind(const std::string& name, FrameHandler handler);
+
+  void unbind(const std::string& name);
+
+  /// Looks up a handler; throws TransportError(transport_unknown_endpoint).
+  FrameHandler lookup(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  std::size_t size() const;
+
+  /// Removes every binding (test isolation).
+  void clear();
+
+ private:
+  EndpointRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FrameHandler> handlers_;
+};
+
+/// Channel that synchronously invokes an endpoint's handler.  The handler
+/// is resolved per call so rebinding (migration) takes effect immediately.
+class InProcChannel final : public Channel {
+ public:
+  explicit InProcChannel(std::string endpoint);
+
+  wire::Buffer roundtrip(const wire::Buffer& request, CostLedger& ledger) override;
+  std::string describe() const override;
+
+  const std::string& endpoint() const noexcept { return endpoint_; }
+
+ private:
+  std::string endpoint_;
+};
+
+}  // namespace ohpx::transport

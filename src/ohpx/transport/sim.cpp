@@ -1,0 +1,27 @@
+#include "ohpx/transport/sim.hpp"
+
+#include <utility>
+
+namespace ohpx::transport {
+
+SimChannel::SimChannel(std::string endpoint, LinkProvider link_provider)
+    : inner_(std::move(endpoint)), link_provider_(std::move(link_provider)) {}
+
+SimChannel::SimChannel(std::string endpoint, netsim::LinkSpec link)
+    : inner_(std::move(endpoint)),
+      link_provider_([spec = std::move(link)] { return spec; }) {}
+
+wire::Buffer SimChannel::roundtrip(const wire::Buffer& request,
+                                   CostLedger& ledger) {
+  const netsim::LinkSpec link = link_provider_();
+  ledger.add_modeled(link.transfer_time(request.size()));
+  wire::Buffer reply = inner_.roundtrip(request, ledger);
+  ledger.add_modeled(link.transfer_time(reply.size()));
+  return reply;
+}
+
+std::string SimChannel::describe() const {
+  return "sim[" + link_provider_().name + "]:" + inner_.endpoint();
+}
+
+}  // namespace ohpx::transport

@@ -1,0 +1,35 @@
+// Simulated-network channel: delivers frames through the in-process
+// endpoint registry while charging *modeled* wire time for a configurable
+// link (latency + bytes/bandwidth, both directions).  This is how the
+// benchmark suite reproduces the paper's ATM/Ethernet testbed on one
+// machine (DESIGN.md §2, §7).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ohpx/netsim/topology.hpp"
+#include "ohpx/transport/inproc.hpp"
+
+namespace ohpx::transport {
+
+/// Supplies the link in effect for the *current* call; re-evaluated per
+/// roundtrip so migration-driven placement changes are picked up.
+using LinkProvider = std::function<netsim::LinkSpec()>;
+
+class SimChannel final : public Channel {
+ public:
+  SimChannel(std::string endpoint, LinkProvider link_provider);
+
+  /// Convenience: fixed link.
+  SimChannel(std::string endpoint, netsim::LinkSpec link);
+
+  wire::Buffer roundtrip(const wire::Buffer& request, CostLedger& ledger) override;
+  std::string describe() const override;
+
+ private:
+  InProcChannel inner_;
+  LinkProvider link_provider_;
+};
+
+}  // namespace ohpx::transport

@@ -1,0 +1,224 @@
+#include "ohpx/transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/common/log.hpp"
+
+namespace ohpx::transport {
+namespace {
+
+constexpr std::size_t kMaxFrameSize = 256u << 20;  // 256 MiB sanity cap
+
+[[noreturn]] void throw_errno(ErrorCode code, const char* what) {
+  throw TransportError(code, std::string(what) + ": " + std::strerror(errno));
+}
+
+void write_full(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(ErrorCode::transport_io, "send");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns false on clean EOF at a frame boundary (start == true).
+bool read_full(int fd, std::uint8_t* data, std::size_t size, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(ErrorCode::transport_io, "recv");
+    }
+    if (n == 0) {
+      if (eof_ok && got == 0) return false;
+      throw TransportError(ErrorCode::transport_closed,
+                           "connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void tcp_write_frame(int fd, const wire::Buffer& frame) {
+  std::uint8_t len[4];
+  const std::uint32_t size = static_cast<std::uint32_t>(frame.size());
+  len[0] = static_cast<std::uint8_t>(size >> 24);
+  len[1] = static_cast<std::uint8_t>(size >> 16);
+  len[2] = static_cast<std::uint8_t>(size >> 8);
+  len[3] = static_cast<std::uint8_t>(size);
+  write_full(fd, len, 4);
+  write_full(fd, frame.data(), frame.size());
+}
+
+wire::Buffer tcp_read_frame(int fd) {
+  std::uint8_t len[4];
+  if (!read_full(fd, len, 4, /*eof_ok=*/true)) {
+    throw TransportError(ErrorCode::transport_closed, "connection closed");
+  }
+  const std::size_t size = (static_cast<std::size_t>(len[0]) << 24) |
+                           (static_cast<std::size_t>(len[1]) << 16) |
+                           (static_cast<std::size_t>(len[2]) << 8) |
+                           static_cast<std::size_t>(len[3]);
+  if (size > kMaxFrameSize) {
+    throw TransportError(ErrorCode::transport_io, "frame exceeds size cap");
+  }
+  wire::Buffer frame;
+  frame.resize(size);
+  read_full(fd, frame.data(), size, /*eof_ok=*/false);
+  return frame;
+}
+
+// ---- TcpListener ---------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port, FrameHandler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno(ErrorCode::transport_io, "socket");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw_errno(ErrorCode::transport_io, "bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ::close(listen_fd_);
+    throw_errno(ErrorCode::transport_io, "getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    throw_errno(ErrorCode::transport_io, "listen");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;  // already stopped
+  }
+  // Shut the listening socket down to unblock accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+    // Unblock workers parked in recv() on live connections; they observe
+    // EOF, clean up their fd and exit.
+    for (int fd : open_connections_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (auto& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void TcpListener::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    std::lock_guard lock(workers_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    open_connections_.insert(fd);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpListener::serve_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  try {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      wire::Buffer request = tcp_read_frame(fd);
+      wire::Buffer reply = handler_(request);
+      tcp_write_frame(fd, reply);
+    }
+  } catch (const TransportError&) {
+    // Peer closed or I/O failed; drop the connection quietly.
+  } catch (const std::exception& e) {
+    log_warn("tcp", "connection handler error: ", e.what());
+  }
+  {
+    std::lock_guard lock(workers_mutex_);
+    open_connections_.erase(fd);
+  }
+  ::close(fd);
+}
+
+// ---- TcpChannel ------------------------------------------------------------
+
+TcpChannel::TcpChannel(const std::string& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno(ErrorCode::transport_connect_failed, "socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw TransportError(ErrorCode::transport_connect_failed,
+                         "bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    throw_errno(ErrorCode::transport_connect_failed, "connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+wire::Buffer TcpChannel::roundtrip(const wire::Buffer& request,
+                                   CostLedger& ledger) {
+  std::lock_guard lock(io_mutex_);
+  ledger.add_bytes_sent(request.size());
+  ScopedRealTime timer(ledger);
+  tcp_write_frame(fd_, request);
+  wire::Buffer reply = tcp_read_frame(fd_);
+  ledger.add_bytes_received(reply.size());
+  return reply;
+}
+
+std::string TcpChannel::describe() const {
+  return "tcp:" + host_ + ":" + std::to_string(port_);
+}
+
+}  // namespace ohpx::transport

@@ -1,0 +1,74 @@
+// Real TCP transport over loopback sockets, built directly on the POSIX
+// socket API.  Stream framing: u32 big-endian payload length + payload.
+// This is the "Nexus-based TCP protocol" bearer when running against a
+// real network stack (the benchmark suite instead uses the netsim-timed
+// channel so results are deterministic — see DESIGN.md §2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ohpx/transport/channel.hpp"
+
+namespace ohpx::transport {
+
+/// Accepting side: binds 127.0.0.1:`port` (0 = ephemeral), serves each
+/// connection on its own thread, dispatching frames into `handler`.
+class TcpListener {
+ public:
+  TcpListener(std::uint16_t port, FrameHandler handler);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actual bound port (useful with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting and joins all threads.  Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  FrameHandler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::set<int> open_connections_;  // guarded by workers_mutex_
+};
+
+/// Connecting side: one persistent connection, one in-flight request at a
+/// time (callers serialize through an internal mutex).
+class TcpChannel final : public Channel {
+ public:
+  TcpChannel(const std::string& host, std::uint16_t port);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  wire::Buffer roundtrip(const wire::Buffer& request, CostLedger& ledger) override;
+  std::string describe() const override;
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_;
+  std::mutex io_mutex_;
+};
+
+/// Frame I/O helpers shared by both sides (exposed for tests).
+void tcp_write_frame(int fd, const wire::Buffer& frame);
+wire::Buffer tcp_read_frame(int fd);
+
+}  // namespace ohpx::transport

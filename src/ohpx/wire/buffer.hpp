@@ -1,0 +1,62 @@
+// Growable byte buffer used by the whole invocation pipeline.
+//
+// A single Buffer travels from the stub through the capability chain onto
+// the channel and back (the paper's "no extra data copying" design point):
+// capabilities transform the payload region in place where possible and
+// only reallocate when the size changes (compression).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "ohpx/common/bytes.hpp"
+
+namespace ohpx::wire {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(Bytes data) : data_(std::move(data)) {}
+  Buffer(const std::uint8_t* data, std::size_t size) : data_(data, data + size) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  const std::uint8_t* data() const noexcept { return data_.data(); }
+  std::uint8_t* data() noexcept { return data_.data(); }
+
+  BytesView view() const noexcept { return BytesView(data_); }
+  std::span<std::uint8_t> mutable_view() noexcept { return std::span<std::uint8_t>(data_); }
+
+  /// Subrange view; clamped to the buffer end.
+  BytesView view(std::size_t offset, std::size_t length) const noexcept {
+    if (offset > data_.size()) return {};
+    length = std::min(length, data_.size() - offset);
+    return BytesView(data_.data() + offset, length);
+  }
+
+  void reserve(std::size_t capacity) { data_.reserve(capacity); }
+  void resize(std::size_t size) { data_.resize(size); }
+  void clear() noexcept { data_.clear(); }
+
+  void append(BytesView bytes) { data_.insert(data_.end(), bytes.begin(), bytes.end()); }
+  void append(std::uint8_t byte) { data_.push_back(byte); }
+
+  /// Moves the underlying storage out, leaving the buffer empty.
+  Bytes release() noexcept { return std::exchange(data_, Bytes{}); }
+
+  /// Replaces the contents wholesale (used by size-changing capabilities).
+  void assign(Bytes data) noexcept { data_ = std::move(data); }
+
+  const Bytes& bytes() const noexcept { return data_; }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) noexcept {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  Bytes data_;
+};
+
+}  // namespace ohpx::wire

@@ -1,0 +1,42 @@
+#include "ohpx/wire/crc.hpp"
+
+#include <array>
+
+namespace ohpx::wire {
+namespace {
+
+std::array<std::uint32_t, 256> build_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() noexcept {
+  static const auto t = build_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(BytesView data) noexcept {
+  const auto& t = table();
+  std::uint32_t c = state_;
+  for (std::uint8_t byte : data) {
+    c = t[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(BytesView data) noexcept {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace ohpx::wire

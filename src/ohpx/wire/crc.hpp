@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) computed with a lazily built
+// 256-entry table.  Used to protect frame headers and by the checksum
+// capability.
+#pragma once
+
+#include <cstdint>
+
+#include "ohpx/common/bytes.hpp"
+
+namespace ohpx::wire {
+
+/// One-shot CRC-32 of `data`.
+std::uint32_t crc32(BytesView data) noexcept;
+
+/// Incremental CRC-32: feed chunks, then read value().
+class Crc32 {
+ public:
+  void update(BytesView data) noexcept;
+  std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+  void reset() noexcept { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace ohpx::wire

@@ -1,0 +1,73 @@
+#include "ohpx/wire/message.hpp"
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/wire/crc.hpp"
+#include "ohpx/wire/decoder.hpp"
+#include "ohpx/wire/encoder.hpp"
+
+namespace ohpx::wire {
+
+Buffer encode_frame(const MessageHeader& header, BytesView body) {
+  Buffer out;
+  out.reserve(kHeaderSize + body.size());
+  Encoder enc(out);
+  enc.put_u32(kFrameMagic);
+  enc.put_u8(kWireVersion);
+  enc.put_u8(static_cast<std::uint8_t>(header.type));
+  enc.put_u16(header.flags);
+  enc.put_u64(header.request_id);
+  enc.put_u64(header.object_id);
+  enc.put_u32(header.method_or_code);
+  enc.put_u32(crc32(out.view(0, kHeaderSize - 4)));
+  enc.put_raw(body);
+  return out;
+}
+
+MessageHeader decode_frame(BytesView frame, BytesView& body) {
+  if (frame.size() < kHeaderSize) {
+    throw WireError(ErrorCode::wire_truncated, "frame shorter than header");
+  }
+  Decoder dec(frame);
+  const std::uint32_t magic = dec.get_u32();
+  if (magic != kFrameMagic) {
+    throw WireError(ErrorCode::wire_bad_magic, "bad frame magic");
+  }
+  const std::uint8_t version = dec.get_u8();
+  if (version != kWireVersion) {
+    throw WireError(ErrorCode::wire_bad_version, "unsupported wire version");
+  }
+  MessageHeader header;
+  const std::uint8_t type = dec.get_u8();
+  if (type < 1 || type > 4) {
+    throw WireError(ErrorCode::wire_bad_value, "unknown message type");
+  }
+  header.type = static_cast<MessageType>(type);
+  header.flags = dec.get_u16();
+  header.request_id = dec.get_u64();
+  header.object_id = dec.get_u64();
+  header.method_or_code = dec.get_u32();
+  const std::uint32_t stored_crc = dec.get_u32();
+  const std::uint32_t computed_crc =
+      crc32(frame.subspan(0, kHeaderSize - 4));
+  if (stored_crc != computed_crc) {
+    throw WireError(ErrorCode::wire_bad_checksum, "frame header CRC mismatch");
+  }
+  body = frame.subspan(kHeaderSize);
+  return header;
+}
+
+Buffer encode_error_body(std::uint32_t code, const std::string& message) {
+  Buffer out;
+  Encoder enc(out);
+  enc.put_u32(code);
+  enc.put_string(message);
+  return out;
+}
+
+void decode_error_body(BytesView body, std::uint32_t& code, std::string& message) {
+  Decoder dec(body);
+  code = dec.get_u32();
+  message = dec.get_string();
+}
+
+}  // namespace ohpx::wire

@@ -1,0 +1,68 @@
+// Request/reply frame format shared by every transport.
+//
+// Frame = fixed 32-byte header (CRC-protected) + body.
+//
+//   offset  size  field
+//   0       4     magic 'OHPX'
+//   4       1     version (currently 1)
+//   5       1     type (request / reply / error_reply)
+//   6       2     flags (bit 0: body was processed by a glue chain)
+//   8       8     request id (client-chosen, echoed in the reply)
+//   16      8     object id
+//   24      4     method id (requests) / error code (error replies)
+//   28      4     CRC-32 of bytes [0, 28)
+//
+// The body of an error reply is { u32 error-code, string message } so the
+// client can rethrow the server-side failure with full fidelity.
+#pragma once
+
+#include <cstdint>
+
+#include "ohpx/common/bytes.hpp"
+#include "ohpx/wire/buffer.hpp"
+
+namespace ohpx::wire {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4f485058;  // "OHPX"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 32;
+
+enum class MessageType : std::uint8_t {
+  request = 1,
+  reply = 2,
+  error_reply = 3,
+  // Fire-and-forget request (Nexus remote-service-request semantics): the
+  // server runs the handler and acknowledges with an empty reply; results
+  // and application errors are not propagated to the caller.
+  oneway = 4,
+};
+
+enum : std::uint16_t {
+  kFlagGlueProcessed = 1u << 0,
+};
+
+struct MessageHeader {
+  MessageType type = MessageType::request;
+  std::uint16_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t object_id = 0;
+  std::uint32_t method_or_code = 0;
+
+  friend bool operator==(const MessageHeader&, const MessageHeader&) = default;
+};
+
+/// Serializes header + body into one contiguous frame.
+Buffer encode_frame(const MessageHeader& header, BytesView body);
+
+/// Parses and validates a frame header; returns the header and sets
+/// `body` to the view of the remaining bytes.  Throws WireError on any
+/// malformed input (bad magic/version/CRC, truncation).
+MessageHeader decode_frame(BytesView frame, BytesView& body);
+
+/// Convenience: builds the body of an error reply.
+Buffer encode_error_body(std::uint32_t code, const std::string& message);
+
+/// Parses an error-reply body.
+void decode_error_body(BytesView body, std::uint32_t& code, std::string& message);
+
+}  // namespace ohpx::wire

@@ -1,0 +1,626 @@
+// Unit tests for the capability layer: every built-in capability's
+// process/unprocess identity, tamper detection, admission control, scopes,
+// descriptor exchange through the registry, and chain composition order.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ohpx/capability/builtin/audit.hpp"
+#include "ohpx/capability/builtin/authentication.hpp"
+#include "ohpx/capability/builtin/checksum.hpp"
+#include "ohpx/capability/builtin/compression.hpp"
+#include "ohpx/capability/builtin/encryption.hpp"
+#include "ohpx/capability/builtin/lease.hpp"
+#include "ohpx/capability/builtin/padding.hpp"
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/capability/builtin/ratelimit.hpp"
+#include "ohpx/capability/chain.hpp"
+#include "ohpx/capability/registry.hpp"
+#include "ohpx/common/rng.hpp"
+#include "ohpx/crypto/mac.hpp"
+#include "ohpx/wire/serialize.hpp"
+
+namespace ohpx::cap {
+namespace {
+
+CallContext make_call(std::uint64_t request_id = 1,
+                      Direction direction = Direction::request) {
+  CallContext call;
+  call.request_id = request_id;
+  call.object_id = 10;
+  call.method_id = 3;
+  call.direction = direction;
+  return call;
+}
+
+wire::Buffer payload_of(std::string_view text) {
+  return wire::Buffer(reinterpret_cast<const std::uint8_t*>(text.data()),
+                      text.size());
+}
+
+crypto::Key128 test_key() { return crypto::Key128::from_seed(0xabc); }
+
+// ---- process∘unprocess identity for all byte-transforming capabilities -----
+
+std::vector<CapabilityPtr> transforming_capabilities() {
+  return {
+      std::make_shared<EncryptionCapability>(test_key()),
+      std::make_shared<AuthenticationCapability>(test_key(), "t",
+                                                 Scope::always),
+      std::make_shared<ChecksumCapability>(),
+      std::make_shared<CompressionCapability>(compress::CodecId::rle),
+      std::make_shared<CompressionCapability>(compress::CodecId::lz),
+      std::make_shared<PaddingCapability>(64),
+      std::make_shared<PaddingCapability>(1),
+      std::make_shared<AuditCapability>(),
+  };
+}
+
+TEST(Identity, EveryCapabilityRoundTrips) {
+  for (const auto& capability : transforming_capabilities()) {
+    const auto call = make_call();
+    wire::Buffer payload = payload_of("some payload worth protecting, 1234");
+    const Bytes original = payload.bytes();
+    capability->process(payload, call);
+    capability->unprocess(payload, call);
+    EXPECT_EQ(payload.bytes(), original) << capability->kind();
+  }
+}
+
+TEST(Identity, EmptyPayloadRoundTrips) {
+  for (const auto& capability : transforming_capabilities()) {
+    const auto call = make_call();
+    wire::Buffer payload;
+    capability->process(payload, call);
+    capability->unprocess(payload, call);
+    EXPECT_TRUE(payload.empty()) << capability->kind();
+  }
+}
+
+// ---- encryption --------------------------------------------------------------
+
+TEST(Encryption, ActuallyScrambles) {
+  EncryptionCapability enc(test_key());
+  wire::Buffer payload = payload_of("plaintext plaintext plaintext");
+  const Bytes original = payload.bytes();
+  enc.process(payload, make_call());
+  EXPECT_NE(payload.bytes(), original);
+}
+
+TEST(Encryption, RequestAndReplyUseDifferentNonces) {
+  EncryptionCapability enc(test_key());
+  wire::Buffer a = payload_of("same bytes");
+  wire::Buffer b = payload_of("same bytes");
+  enc.process(a, make_call(5, Direction::request));
+  enc.process(b, make_call(5, Direction::reply));
+  EXPECT_NE(a.bytes(), b.bytes());
+}
+
+TEST(Encryption, DifferentRequestsDifferentCiphertext) {
+  EncryptionCapability enc(test_key());
+  wire::Buffer a = payload_of("same bytes");
+  wire::Buffer b = payload_of("same bytes");
+  enc.process(a, make_call(1));
+  enc.process(b, make_call(2));
+  EXPECT_NE(a.bytes(), b.bytes());
+}
+
+// ---- authentication ------------------------------------------------------------
+
+TEST(Authentication, AppendsAndStripsTag) {
+  AuthenticationCapability auth(test_key(), "alice", Scope::always);
+  wire::Buffer payload = payload_of("message");
+  auth.process(payload, make_call());
+  EXPECT_EQ(payload.size(), 7u + crypto::kMacTagSize);
+  auth.unprocess(payload, make_call());
+  EXPECT_EQ(payload.bytes(), bytes_of("message"));
+}
+
+TEST(Authentication, TamperedPayloadRejected) {
+  AuthenticationCapability auth(test_key(), "alice", Scope::always);
+  wire::Buffer payload = payload_of("message");
+  auth.process(payload, make_call());
+  payload.data()[0] ^= 1;
+  try {
+    auth.unprocess(payload, make_call());
+    FAIL();
+  } catch (const CapabilityDenied& e) {
+    EXPECT_EQ(e.code(), ErrorCode::capability_auth_failed);
+  }
+}
+
+TEST(Authentication, WrongKeyRejected) {
+  AuthenticationCapability signer(test_key(), "alice", Scope::always);
+  AuthenticationCapability verifier(crypto::Key128::from_seed(999), "alice",
+                                    Scope::always);
+  wire::Buffer payload = payload_of("message");
+  signer.process(payload, make_call());
+  EXPECT_THROW(verifier.unprocess(payload, make_call()), CapabilityDenied);
+}
+
+TEST(Authentication, ReplayOnDifferentRequestRejected) {
+  AuthenticationCapability auth(test_key(), "alice", Scope::always);
+  wire::Buffer payload = payload_of("message");
+  auth.process(payload, make_call(1));
+  // Same bytes presented as a different request id: binding must not match.
+  EXPECT_THROW(auth.unprocess(payload, make_call(2)), CapabilityDenied);
+}
+
+TEST(Authentication, DifferentPrincipalRejected) {
+  AuthenticationCapability alice(test_key(), "alice", Scope::always);
+  AuthenticationCapability mallory(test_key(), "mallory", Scope::always);
+  wire::Buffer payload = payload_of("message");
+  alice.process(payload, make_call());
+  EXPECT_THROW(mallory.unprocess(payload, make_call()), CapabilityDenied);
+}
+
+TEST(Authentication, TooShortPayloadRejected) {
+  AuthenticationCapability auth(test_key(), "alice", Scope::always);
+  wire::Buffer payload = payload_of("abc");  // shorter than a tag
+  EXPECT_THROW(auth.unprocess(payload, make_call()), CapabilityDenied);
+}
+
+// ---- checksum -------------------------------------------------------------------
+
+TEST(Checksum, DetectsCorruption) {
+  ChecksumCapability checksum;
+  wire::Buffer payload = payload_of("data data data");
+  checksum.process(payload, make_call());
+  payload.data()[3] ^= 0x40;
+  EXPECT_THROW(checksum.unprocess(payload, make_call()), CapabilityDenied);
+}
+
+TEST(Checksum, TooShortRejected) {
+  ChecksumCapability checksum;
+  wire::Buffer payload = payload_of("ab");
+  EXPECT_THROW(checksum.unprocess(payload, make_call()), CapabilityDenied);
+}
+
+// ---- compression -----------------------------------------------------------------
+
+TEST(Compression, ShrinksRepetitivePayloads) {
+  CompressionCapability compression(compress::CodecId::rle);
+  wire::Buffer payload{Bytes(10'000, 0x55)};
+  compression.process(payload, make_call());
+  EXPECT_LT(payload.size(), 1000u);
+  compression.unprocess(payload, make_call());
+  EXPECT_EQ(payload.bytes(), Bytes(10'000, 0x55));
+}
+
+TEST(Compression, GarbageInputRejectedCleanly) {
+  CompressionCapability compression(compress::CodecId::lz);
+  wire::Buffer payload = payload_of("not a compressed stream");
+  EXPECT_THROW(compression.unprocess(payload, make_call()), CapabilityDenied);
+}
+
+// ---- padding ----------------------------------------------------------------------
+
+TEST(Padding, RoundsUpToBlockMultiples) {
+  PaddingCapability padding(128);
+  wire::Buffer payload = payload_of("short");
+  padding.process(payload, make_call());
+  EXPECT_EQ(payload.size(), 128u);
+  padding.unprocess(payload, make_call());
+  EXPECT_EQ(payload.bytes(), bytes_of("short"));
+}
+
+TEST(Padding, AlreadyAlignedGrowsOneBlock) {
+  PaddingCapability padding(16);
+  wire::Buffer payload{Bytes(16, 0x11)};  // 16 + 4 trailer -> 32
+  padding.process(payload, make_call());
+  EXPECT_EQ(payload.size(), 32u);
+  padding.unprocess(payload, make_call());
+  EXPECT_EQ(payload.size(), 16u);
+}
+
+TEST(Padding, HidesSizeDistinctions) {
+  PaddingCapability padding(256);
+  wire::Buffer a = payload_of("x");
+  wire::Buffer b = payload_of(std::string(200, 'y'));
+  padding.process(a, make_call());
+  padding.process(b, make_call());
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Padding, MalformedLengthsRejected) {
+  PaddingCapability padding(64);
+  wire::Buffer not_aligned(Bytes(63, 0));
+  EXPECT_THROW(padding.unprocess(not_aligned, make_call()), CapabilityDenied);
+
+  wire::Buffer impossible(Bytes(64, 0xff));  // trailer declares huge length
+  EXPECT_THROW(padding.unprocess(impossible, make_call()), CapabilityDenied);
+}
+
+TEST(Padding, ZeroBlockRejected) {
+  EXPECT_THROW(PaddingCapability(0), CapabilityDenied);
+}
+
+// ---- quota -----------------------------------------------------------------------
+
+TEST(Quota, AdmitsUpToLimitThenRefuses) {
+  QuotaCapability quota(2);
+  quota.admit(make_call());
+  quota.admit(make_call());
+  EXPECT_EQ(quota.remaining(), 0u);
+  try {
+    quota.admit(make_call());
+    FAIL();
+  } catch (const CapabilityDenied& e) {
+    EXPECT_EQ(e.code(), ErrorCode::capability_exhausted);
+  }
+  EXPECT_EQ(quota.used(), 2u);  // the refused call is rolled back
+}
+
+TEST(Quota, RepliesAreFree) {
+  QuotaCapability quota(1);
+  quota.admit(make_call(1, Direction::reply));
+  quota.admit(make_call(2, Direction::reply));
+  EXPECT_EQ(quota.used(), 0u);
+}
+
+TEST(Quota, ThreadSafeCounting) {
+  QuotaCapability quota(1000);
+  std::vector<std::thread> threads;
+  std::atomic<int> denied{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 300; ++i) {
+        try {
+          quota.admit(make_call());
+        } catch (const CapabilityDenied&) {
+          ++denied;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(quota.used(), 1000u);
+  EXPECT_EQ(denied.load(), 200);
+}
+
+// ---- lease -----------------------------------------------------------------------
+
+TEST(Lease, AdmitsWhileFreshThenExpires) {
+  LeaseCapability lease(std::chrono::milliseconds(60));
+  EXPECT_NO_THROW(lease.admit(make_call()));
+  EXPECT_FALSE(lease.expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(lease.expired());
+  try {
+    lease.admit(make_call());
+    FAIL();
+  } catch (const CapabilityDenied& e) {
+    EXPECT_EQ(e.code(), ErrorCode::capability_expired);
+  }
+}
+
+TEST(Lease, DescriptorCarriesRemainingTime) {
+  LeaseCapability lease(std::chrono::milliseconds(5000));
+  const auto descriptor = lease.descriptor();
+  const long long ttl = std::stoll(descriptor.params.at("ttl_ms"));
+  EXPECT_GT(ttl, 4000);
+  EXPECT_LE(ttl, 5000);
+}
+
+TEST(Lease, ZeroTtlIsBornExpired) {
+  LeaseCapability lease(std::chrono::milliseconds(0));
+  EXPECT_TRUE(lease.expired());
+  EXPECT_EQ(lease.remaining().count(), 0);
+}
+
+// ---- rate limit -------------------------------------------------------------------
+
+TEST(RateLimit, BurstThenRefusal) {
+  RateLimitCapability limiter(/*rate_per_sec=*/1.0, /*burst=*/3.0);
+  limiter.admit(make_call());
+  limiter.admit(make_call());
+  limiter.admit(make_call());
+  EXPECT_THROW(limiter.admit(make_call()), CapabilityDenied);
+}
+
+TEST(RateLimit, RefillsOverTime) {
+  RateLimitCapability limiter(/*rate_per_sec=*/200.0, /*burst=*/1.0);
+  limiter.admit(make_call());
+  EXPECT_THROW(limiter.admit(make_call()), CapabilityDenied);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_NO_THROW(limiter.admit(make_call()));
+}
+
+TEST(RateLimit, RepliesNotCounted) {
+  RateLimitCapability limiter(1.0, 1.0);
+  limiter.admit(make_call(1, Direction::reply));
+  limiter.admit(make_call(1, Direction::request));
+  EXPECT_THROW(limiter.admit(make_call(2, Direction::request)),
+               CapabilityDenied);
+}
+
+// ---- audit -----------------------------------------------------------------------
+
+TEST(Audit, RecordsCallsInOrder) {
+  AuditCapability audit(16);
+  wire::Buffer payload = payload_of("xyz");
+  audit.process(payload, make_call(7));
+  audit.unprocess(payload, make_call(7, Direction::reply));
+  const auto records = audit.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].request_id, 7u);
+  EXPECT_EQ(records[0].direction, Direction::request);
+  EXPECT_EQ(records[1].direction, Direction::reply);
+  EXPECT_EQ(records[0].payload_size, 3u);
+  EXPECT_EQ(audit.total_calls(), 2u);
+}
+
+TEST(Audit, RingBounded) {
+  AuditCapability audit(4);
+  wire::Buffer payload = payload_of("x");
+  for (int i = 0; i < 10; ++i) {
+    audit.process(payload, make_call(static_cast<std::uint64_t>(i)));
+  }
+  const auto records = audit.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().request_id, 6u);  // oldest retained
+  EXPECT_EQ(audit.total_calls(), 10u);
+}
+
+// ---- scopes -----------------------------------------------------------------------
+
+TEST(Scopes, ParseAndFormatRoundTrip) {
+  for (Scope scope : {Scope::always, Scope::cross_campus, Scope::cross_lan,
+                      Scope::remote, Scope::same_lan, Scope::same_machine,
+                      Scope::never}) {
+    EXPECT_EQ(scope_from_string(to_string(scope)), scope);
+  }
+  EXPECT_THROW(scope_from_string("bogus"), CapabilityDenied);
+}
+
+TEST(Scopes, ApplicabilityMatrix) {
+  netsim::Topology topo;
+  const auto lan_a = topo.add_lan("a");
+  const auto lan_b = topo.add_lan("b");
+  const auto lan_c = topo.add_lan("c");
+  topo.set_campus(lan_a, 0);
+  topo.set_campus(lan_b, 0);
+  topo.set_campus(lan_c, 1);
+  const auto m_a1 = topo.add_machine("a1", lan_a);
+  const auto m_a2 = topo.add_machine("a2", lan_a);
+  const auto m_b = topo.add_machine("b", lan_b);
+  const auto m_c = topo.add_machine("c", lan_c);
+
+  const netsim::Placement same_machine{m_a1, m_a1, &topo};
+  const netsim::Placement same_lan{m_a1, m_a2, &topo};
+  const netsim::Placement same_campus{m_a1, m_b, &topo};
+  const netsim::Placement cross_campus{m_a1, m_c, &topo};
+
+  EXPECT_TRUE(scope_applies(Scope::always, cross_campus));
+  EXPECT_TRUE(scope_applies(Scope::always, same_machine));
+
+  EXPECT_TRUE(scope_applies(Scope::cross_campus, cross_campus));
+  EXPECT_FALSE(scope_applies(Scope::cross_campus, same_campus));
+  EXPECT_FALSE(scope_applies(Scope::cross_campus, same_lan));
+
+  EXPECT_TRUE(scope_applies(Scope::cross_lan, same_campus));
+  EXPECT_TRUE(scope_applies(Scope::cross_lan, cross_campus));
+  EXPECT_FALSE(scope_applies(Scope::cross_lan, same_lan));
+
+  EXPECT_TRUE(scope_applies(Scope::remote, same_lan));
+  EXPECT_FALSE(scope_applies(Scope::remote, same_machine));
+
+  EXPECT_TRUE(scope_applies(Scope::same_lan, same_lan));
+  EXPECT_FALSE(scope_applies(Scope::same_lan, same_campus));
+
+  EXPECT_TRUE(scope_applies(Scope::same_machine, same_machine));
+  EXPECT_FALSE(scope_applies(Scope::same_machine, same_lan));
+
+  EXPECT_FALSE(scope_applies(Scope::never, same_machine));
+  EXPECT_FALSE(scope_applies(Scope::never, cross_campus));
+}
+
+// ---- descriptors & registry ----------------------------------------------------------
+
+TEST(Registry, BuiltinsRegistered) {
+  auto& registry = CapabilityRegistry::instance();
+  for (const char* kind : {"encryption", "authentication", "compression",
+                           "checksum", "lease", "quota", "ratelimit", "audit"}) {
+    EXPECT_TRUE(registry.contains(kind)) << kind;
+  }
+}
+
+TEST(Registry, UnknownKindRefused) {
+  CapabilityDescriptor descriptor;
+  descriptor.kind = "no-such-capability";
+  try {
+    CapabilityRegistry::instance().instantiate(descriptor);
+    FAIL();
+  } catch (const CapabilityDenied& e) {
+    EXPECT_EQ(e.code(), ErrorCode::capability_unknown);
+  }
+}
+
+TEST(Registry, DescriptorRoundTripPreservesBehaviour) {
+  // Serialize every built-in transforming capability's descriptor through
+  // the wire format, re-instantiate, and check the copy can unprocess what
+  // the original processed.
+  for (const auto& original : transforming_capabilities()) {
+    const wire::Buffer encoded = wire::encode_value(original->descriptor());
+    const auto descriptor =
+        wire::decode_value<CapabilityDescriptor>(encoded.view());
+    const CapabilityPtr copy =
+        CapabilityRegistry::instance().instantiate(descriptor);
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->kind(), original->kind());
+
+    const auto call = make_call(77);
+    wire::Buffer payload = payload_of("cross-process payload");
+    original->process(payload, call);
+    copy->unprocess(payload, call);
+    EXPECT_EQ(payload.bytes(), bytes_of("cross-process payload"))
+        << original->kind();
+  }
+}
+
+TEST(Registry, QuotaDescriptorCarriesRemaining) {
+  QuotaCapability quota(5);
+  quota.admit(make_call());
+  quota.admit(make_call());
+  const auto copy =
+      CapabilityRegistry::instance().instantiate(quota.descriptor());
+  auto* quota_copy = dynamic_cast<QuotaCapability*>(copy.get());
+  ASSERT_NE(quota_copy, nullptr);
+  EXPECT_EQ(quota_copy->remaining(), 3u);
+}
+
+TEST(Registry, MissingParamRejected) {
+  CapabilityDescriptor descriptor;
+  descriptor.kind = "encryption";  // missing "key"
+  EXPECT_THROW(CapabilityRegistry::instance().instantiate(descriptor),
+               CapabilityDenied);
+}
+
+TEST(Registry, CustomCapabilityPluggable) {
+  class NullCapability final : public Capability {
+   public:
+    std::string_view kind() const noexcept override { return "custom-null"; }
+    void process(wire::Buffer&, const CallContext&) override {}
+    void unprocess(wire::Buffer&, const CallContext&) override {}
+    CapabilityDescriptor descriptor() const override {
+      return CapabilityDescriptor{"custom-null", {}};
+    }
+  };
+  CapabilityRegistry::instance().register_factory(
+      "custom-null",
+      [](const CapabilityDescriptor&) { return std::make_shared<NullCapability>(); });
+  EXPECT_TRUE(CapabilityRegistry::instance().contains("custom-null"));
+  const auto instance = CapabilityRegistry::instance().instantiate(
+      CapabilityDescriptor{"custom-null", {}});
+  EXPECT_EQ(instance->kind(), "custom-null");
+}
+
+// ---- chains ---------------------------------------------------------------------------
+
+/// Capability that appends a marker byte — makes ordering observable.
+class MarkerCapability final : public Capability {
+ public:
+  explicit MarkerCapability(std::uint8_t marker) : marker_(marker) {}
+  std::string_view kind() const noexcept override { return "marker"; }
+  void process(wire::Buffer& payload, const CallContext&) override {
+    payload.append(marker_);
+  }
+  void unprocess(wire::Buffer& payload, const CallContext&) override {
+    if (payload.empty() || payload.bytes().back() != marker_) {
+      throw CapabilityDenied(ErrorCode::capability_bad_payload,
+                             "marker mismatch");
+    }
+    payload.resize(payload.size() - 1);
+  }
+  CapabilityDescriptor descriptor() const override {
+    return CapabilityDescriptor{"marker",
+                                {{"m", std::to_string(marker_)}}};
+  }
+
+ private:
+  std::uint8_t marker_;
+};
+
+TEST(Chain, ProcessForwardUnprocessReverse) {
+  CapabilityChain chain({std::make_shared<MarkerCapability>(1),
+                         std::make_shared<MarkerCapability>(2)});
+  wire::Buffer payload = payload_of("m");
+  chain.process_outbound(payload, make_call());
+  // Forward order: marker 1 then marker 2 → tail is [1, 2].
+  ASSERT_EQ(payload.size(), 3u);
+  EXPECT_EQ(payload.bytes()[1], 1);
+  EXPECT_EQ(payload.bytes()[2], 2);
+  // Reverse unprocess restores the original; wrong order would throw.
+  chain.process_inbound(payload, make_call());
+  EXPECT_EQ(payload.bytes(), bytes_of("m"));
+}
+
+TEST(Chain, ApplicabilityIsAnd) {
+  netsim::Topology topo;
+  const auto lan = topo.add_lan("l");
+  const auto a = topo.add_machine("a", lan);
+  const auto b = topo.add_machine("b", lan);
+  const netsim::Placement remote{a, b, &topo};
+
+  CapabilityChain both_apply(
+      {std::make_shared<QuotaCapability>(10, Scope::always),
+       std::make_shared<QuotaCapability>(10, Scope::remote)});
+  EXPECT_TRUE(both_apply.applicable(remote));
+
+  CapabilityChain one_never(
+      {std::make_shared<QuotaCapability>(10, Scope::always),
+       std::make_shared<QuotaCapability>(10, Scope::never)});
+  EXPECT_FALSE(one_never.applicable(remote));
+
+  CapabilityChain empty;
+  EXPECT_TRUE(empty.applicable(remote));  // vacuous AND
+}
+
+TEST(Chain, AdmissionRunsBeforeProcessing) {
+  auto quota = std::make_shared<QuotaCapability>(0);  // always refuses
+  CapabilityChain chain({quota, std::make_shared<MarkerCapability>(9)});
+  wire::Buffer payload = payload_of("m");
+  EXPECT_THROW(chain.process_outbound(payload, make_call()), CapabilityDenied);
+  // Payload untouched: no capability processed it.
+  EXPECT_EQ(payload.bytes(), bytes_of("m"));
+}
+
+TEST(Chain, DescribeListsKinds) {
+  CapabilityChain chain({std::make_shared<QuotaCapability>(1),
+                         std::make_shared<ChecksumCapability>()});
+  EXPECT_EQ(chain.describe(), "quota,checksum");
+  EXPECT_EQ(chain.descriptors().size(), 2u);
+}
+
+// ---- parameterized chain composition sweep ---------------------------------------------
+
+class ChainComposition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainComposition, RandomChainsAreIdentity) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    CapabilityChain chain;
+    const std::size_t length = 1 + rng.next_below(5);
+    for (std::size_t i = 0; i < length; ++i) {
+      switch (rng.next_below(6)) {
+        case 0:
+          chain.add(std::make_shared<EncryptionCapability>(test_key()));
+          break;
+        case 1:
+          chain.add(std::make_shared<AuthenticationCapability>(
+              test_key(), "fuzz", Scope::always));
+          break;
+        case 2:
+          chain.add(std::make_shared<ChecksumCapability>());
+          break;
+        case 3:
+          chain.add(std::make_shared<CompressionCapability>(
+              rng.next_below(2) == 0 ? compress::CodecId::rle
+                                     : compress::CodecId::lz));
+          break;
+        case 4:
+          chain.add(std::make_shared<PaddingCapability>(
+              1 + rng.next_below(300)));
+          break;
+        default:
+          chain.add(std::make_shared<AuditCapability>());
+          break;
+      }
+    }
+
+    Bytes original(rng.next_below(4096));
+    for (auto& byte : original) byte = static_cast<std::uint8_t>(rng.next());
+
+    const auto call = make_call(rng.next());
+    wire::Buffer payload{Bytes(original)};
+    chain.process_outbound(payload, call);
+    chain.process_inbound(payload, call);
+    EXPECT_EQ(payload.bytes(), original) << "chain: " << chain.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainComposition,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace ohpx::cap

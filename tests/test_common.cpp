@@ -1,0 +1,177 @@
+// Unit tests for the common layer: errors, bytes/hex, clocks, RNG, logging.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ohpx/common/bytes.hpp"
+#include "ohpx/common/clock.hpp"
+#include "ohpx/common/error.hpp"
+#include "ohpx/common/log.hpp"
+#include "ohpx/common/rng.hpp"
+
+namespace ohpx {
+namespace {
+
+// ---- errors -----------------------------------------------------------------
+
+TEST(Errors, CodeNamesAreStable) {
+  EXPECT_EQ(to_string(ErrorCode::ok), "ok");
+  EXPECT_EQ(to_string(ErrorCode::wire_truncated), "wire_truncated");
+  EXPECT_EQ(to_string(ErrorCode::capability_expired), "capability_expired");
+  EXPECT_EQ(to_string(ErrorCode::stale_reference), "stale_reference");
+  EXPECT_EQ(to_string(ErrorCode::remote_application_error),
+            "remote_application_error");
+}
+
+TEST(Errors, ThrowErrorPicksCategoryByCode) {
+  EXPECT_THROW(throw_error(ErrorCode::wire_bad_magic, "x"), WireError);
+  EXPECT_THROW(throw_error(ErrorCode::transport_closed, "x"), TransportError);
+  EXPECT_THROW(throw_error(ErrorCode::protocol_no_match, "x"), ProtocolError);
+  EXPECT_THROW(throw_error(ErrorCode::capability_denied, "x"), CapabilityDenied);
+  EXPECT_THROW(throw_error(ErrorCode::object_not_found, "x"), ObjectError);
+  EXPECT_THROW(throw_error(ErrorCode::remote_application_error, "x"),
+               RemoteError);
+  EXPECT_THROW(throw_error(ErrorCode::internal, "x"), Error);
+}
+
+TEST(Errors, SubclassesPreserveCodeAndMessage) {
+  try {
+    throw_error(ErrorCode::capability_exhausted, "quota gone");
+  } catch (const CapabilityDenied& e) {
+    EXPECT_EQ(e.code(), ErrorCode::capability_exhausted);
+    EXPECT_STREQ(e.what(), "quota gone");
+  }
+}
+
+TEST(Errors, AllSubclassesCatchableAsError) {
+  try {
+    throw_error(ErrorCode::migration_failed, "m");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::migration_failed);
+  }
+}
+
+// ---- bytes / hex --------------------------------------------------------------
+
+TEST(BytesHex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(BytesHex, EmptyIsFine) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesHex, OddLengthRejected) { EXPECT_THROW(from_hex("abc"), WireError); }
+
+TEST(BytesHex, BadDigitRejected) { EXPECT_THROW(from_hex("zz"), WireError); }
+
+TEST(BytesText, Conversions) {
+  EXPECT_EQ(text_of(bytes_of("hi")), "hi");
+  EXPECT_EQ(bytes_of("").size(), 0u);
+}
+
+TEST(ConstantTime, EqualAndUnequal) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+// ---- clock / ledger -------------------------------------------------------------
+
+TEST(CostLedgerTest, AccumulatesBothHalves) {
+  CostLedger ledger;
+  ledger.add_real(Nanoseconds(100));
+  ledger.add_modeled(Nanoseconds(900));
+  ledger.add_bytes_sent(10);
+  ledger.add_bytes_received(20);
+  EXPECT_EQ(ledger.real().count(), 100);
+  EXPECT_EQ(ledger.modeled().count(), 900);
+  EXPECT_EQ(ledger.total().count(), 1000);
+  EXPECT_DOUBLE_EQ(ledger.total_seconds(), 1e-6);
+  EXPECT_EQ(ledger.bytes_sent(), 10u);
+  EXPECT_EQ(ledger.bytes_received(), 20u);
+}
+
+TEST(CostLedgerTest, MergeAndReset) {
+  CostLedger a, b;
+  a.add_real(Nanoseconds(5));
+  b.add_modeled(Nanoseconds(7));
+  b.add_bytes_sent(3);
+  a.merge(b);
+  EXPECT_EQ(a.total().count(), 12);
+  EXPECT_EQ(a.bytes_sent(), 3u);
+  a.reset();
+  EXPECT_EQ(a.total().count(), 0);
+}
+
+TEST(ScopedRealTimeTest, AddsElapsedTime) {
+  CostLedger ledger;
+  {
+    ScopedRealTime timer(ledger);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(ledger.real().count(), 1'000'000);
+  EXPECT_EQ(ledger.modeled().count(), 0);
+}
+
+TEST(StopwatchTest, MonotoneAndResettable) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto first = watch.elapsed();
+  EXPECT_GT(first.count(), 0);
+  watch.reset();
+  EXPECT_LT(watch.elapsed(), first + Nanoseconds(1'000'000'000));
+}
+
+// ---- RNG ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool any_diff = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) any_diff |= (a2.next() != c.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundsRespected) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SplitMixDistinctOutputs) {
+  SplitMix64 mixer(0);
+  const auto a = mixer.next();
+  const auto b = mixer.next();
+  EXPECT_NE(a, b);
+}
+
+// ---- log ------------------------------------------------------------------------
+
+TEST(Log, LevelGateWorks) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::error);
+  EXPECT_EQ(log_level(), LogLevel::error);
+  // Below-threshold logging must be a no-op (nothing observable to assert
+  // beyond "does not crash").
+  log_debug("test", "invisible ", 42);
+  log_error("test", "visible in stderr during tests is fine");
+  set_log_level(old_level);
+}
+
+}  // namespace
+}  // namespace ohpx

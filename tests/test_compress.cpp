@@ -1,0 +1,244 @@
+// Unit tests for the compression codecs: round trips over characteristic
+// payload shapes, compression-ratio expectations, and malformed-input
+// hardening (every decoder path must fail cleanly, never read or write out
+// of bounds).
+#include <gtest/gtest.h>
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/common/rng.hpp"
+#include "ohpx/compress/codec.hpp"
+
+namespace ohpx::compress {
+namespace {
+
+Bytes runs_payload(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((i / 97) % 5);
+  }
+  return out;
+}
+
+Bytes text_payload(std::size_t n) {
+  static constexpr std::string_view kCorpus =
+      "typical high-performance distributed applications consist of clients "
+      "accessing computational and information resources implemented by "
+      "remote servers. ";
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const std::size_t take = std::min(n - out.size(), kCorpus.size());
+    out.insert(out.end(), kCorpus.begin(),
+               kCorpus.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes random_payload(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+// ---- basic round trips ---------------------------------------------------------
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecId> {};
+
+TEST_P(CodecRoundTrip, EmptyInput) {
+  auto codec = make_codec(GetParam());
+  EXPECT_TRUE(codec->decompress(codec->compress({})).empty());
+}
+
+TEST_P(CodecRoundTrip, SingleByte) {
+  auto codec = make_codec(GetParam());
+  const Bytes in = {0x42};
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, Runs) {
+  auto codec = make_codec(GetParam());
+  const Bytes in = runs_payload(10'000);
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, Text) {
+  auto codec = make_codec(GetParam());
+  const Bytes in = text_payload(20'000);
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, Random) {
+  auto codec = make_codec(GetParam());
+  const Bytes in = random_payload(20'000, 99);
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, AllByteValues) {
+  auto codec = make_codec(GetParam());
+  Bytes in(256 * 4);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i % 256);
+  }
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, BoundarySizes) {
+  auto codec = make_codec(GetParam());
+  // Sizes around token-chunk boundaries (127/128/129, 130/131).
+  for (std::size_t n : {2u, 3u, 127u, 128u, 129u, 130u, 131u, 255u, 256u}) {
+    Bytes same(n, 0x77);
+    EXPECT_EQ(codec->decompress(codec->compress(same)), same) << n;
+    Bytes varied = random_payload(n, n);
+    EXPECT_EQ(codec->decompress(codec->compress(varied)), varied) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip,
+                         ::testing::Values(CodecId::identity, CodecId::rle,
+                                           CodecId::lz),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CodecId::identity: return "identity";
+                             case CodecId::rle: return "rle";
+                             case CodecId::lz: return "lz";
+                           }
+                           return "unknown";
+                         });
+
+// ---- ratios ---------------------------------------------------------------------
+
+TEST(CompressionRatio, RleWinsOnRuns) {
+  auto rle = make_rle_codec();
+  const Bytes in(100'000, 0xaa);
+  const Bytes packed = rle->compress(in);
+  EXPECT_LT(packed.size(), in.size() / 20);
+}
+
+TEST(CompressionRatio, LzWinsOnText) {
+  auto lz = make_lz_codec();
+  const Bytes in = text_payload(100'000);
+  const Bytes packed = lz->compress(in);
+  EXPECT_LT(packed.size(), in.size() / 3);
+}
+
+TEST(CompressionRatio, RandomDataGrowsOnlySlightly) {
+  auto lz = make_lz_codec();
+  const Bytes in = random_payload(100'000, 5);
+  const Bytes packed = lz->compress(in);
+  // Worst case: header + one extra token byte per 128 literals.
+  EXPECT_LT(packed.size(), in.size() + in.size() / 100 + 64);
+}
+
+// ---- malformed input hardening ----------------------------------------------------
+
+TEST(Malformed, TooShortForHeader) {
+  auto codec = make_lz_codec();
+  EXPECT_THROW(codec->decompress({}), WireError);
+  EXPECT_THROW(codec->decompress(Bytes{2}), WireError);
+  EXPECT_THROW(codec->decompress(Bytes{2, 0, 0}), WireError);
+}
+
+TEST(Malformed, CodecIdMismatch) {
+  auto rle = make_rle_codec();
+  auto lz = make_lz_codec();
+  const Bytes packed = rle->compress(bytes_of("data"));
+  EXPECT_THROW(lz->decompress(packed), WireError);
+}
+
+TEST(Malformed, TruncatedStream) {
+  auto lz = make_lz_codec();
+  Bytes packed = lz->compress(text_payload(1000));
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW(lz->decompress(packed), WireError);
+}
+
+TEST(Malformed, LzOffsetOutOfRange) {
+  // Hand-crafted: declares 8 output bytes, then a match reaching before
+  // the start of the output.
+  Bytes evil = {static_cast<std::uint8_t>(CodecId::lz), 0, 0, 0, 8,
+                0x80,  // match, len = kMinMatch
+                0x00, 0x10};  // offset 16 > bytes produced so far (0)
+  auto lz = make_lz_codec();
+  EXPECT_THROW(lz->decompress(evil), WireError);
+}
+
+TEST(Malformed, DeclaredSizeSmallerThanOutput) {
+  auto rle = make_rle_codec();
+  Bytes packed = rle->compress(Bytes(1000, 1));
+  // Shrink the declared original size; decoder must refuse to overflow it.
+  packed[4] = 1;
+  packed[3] = 0;
+  EXPECT_THROW(rle->decompress(packed), WireError);
+}
+
+TEST(Malformed, DeclaredSizeLargerThanOutput) {
+  auto rle = make_rle_codec();
+  Bytes packed = rle->compress(Bytes(10, 7));
+  packed[4] = 0xff;  // declares more output than the stream produces
+  EXPECT_THROW(rle->decompress(packed), WireError);
+}
+
+TEST(Malformed, RleRunMissingValueByte) {
+  Bytes evil = {static_cast<std::uint8_t>(CodecId::rle), 0, 0, 0, 3, 0x80};
+  auto rle = make_rle_codec();
+  EXPECT_THROW(rle->decompress(evil), WireError);
+}
+
+TEST(Malformed, UnknownCodecId) {
+  Bytes evil = {0x77, 0, 0, 0, 0};
+  EXPECT_THROW(peek_codec(evil), WireError);
+  EXPECT_THROW(make_codec(static_cast<CodecId>(0x77)), WireError);
+}
+
+TEST(PeekCodec, ReadsIdWithoutDecompressing) {
+  auto lz = make_lz_codec();
+  EXPECT_EQ(peek_codec(lz->compress(bytes_of("x"))), CodecId::lz);
+  EXPECT_THROW(peek_codec({}), WireError);
+}
+
+// ---- LZ self-referential matches (overlap copy) ------------------------------------
+
+TEST(Lz, OverlappingMatchesDecodeCorrectly) {
+  auto lz = make_lz_codec();
+  // "abcabcabc..." forces matches whose offset (3) < length.
+  Bytes in;
+  for (int i = 0; i < 3000; ++i) in.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+  EXPECT_EQ(lz->decompress(lz->compress(in)), in);
+}
+
+// ---- randomized property sweep -------------------------------------------------------
+
+class CodecFuzz
+    : public ::testing::TestWithParam<std::tuple<CodecId, std::uint64_t>> {};
+
+TEST_P(CodecFuzz, RandomStructuredPayloadsRoundTrip) {
+  const auto [id, seed] = GetParam();
+  auto codec = make_codec(id);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 20; ++i) {
+    // Mix of runs and noise: pick segment lengths and fill styles randomly.
+    Bytes in;
+    const std::size_t target = rng.next_below(5000);
+    while (in.size() < target) {
+      const std::size_t seg = 1 + rng.next_below(200);
+      if (rng.next_below(2) == 0) {
+        in.insert(in.end(), seg, static_cast<std::uint8_t>(rng.next()));
+      } else {
+        for (std::size_t k = 0; k < seg; ++k) {
+          in.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+      }
+    }
+    EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CodecFuzz,
+    ::testing::Combine(::testing::Values(CodecId::identity, CodecId::rle,
+                                         CodecId::lz),
+                       ::testing::Values(101, 202, 303)));
+
+}  // namespace
+}  // namespace ohpx::compress

@@ -1,0 +1,180 @@
+// Final coverage sweep: corners that the per-module suites don't hit —
+// attenuation across mixed tables, registry round-trips for admission
+// capabilities, glue metric names, and pool/selection interplay with the
+// relay protocol.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/delegation.hpp"
+#include "ohpx/capability/builtin/fault.hpp"
+#include "ohpx/capability/builtin/lease.hpp"
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/capability/builtin/ratelimit.hpp"
+#include "ohpx/capability/registry.hpp"
+#include "ohpx/metrics/metrics.hpp"
+#include "ohpx/orb/attenuate.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/protocol/glue_wire.hpp"
+#include "ohpx/protocol/relay.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx {
+namespace {
+
+using scenario::EchoPointer;
+using scenario::EchoServant;
+
+// ---- admission capabilities survive the registry round trip -----------------
+
+TEST(RegistryExtras, AdmissionCapabilitiesRoundTrip) {
+  auto& registry = cap::CapabilityRegistry::instance();
+  const std::vector<cap::CapabilityPtr> originals = {
+      std::make_shared<cap::QuotaCapability>(9),
+      std::make_shared<cap::LeaseCapability>(std::chrono::milliseconds(60000)),
+      std::make_shared<cap::RateLimitCapability>(100.0, 50.0),
+      std::make_shared<cap::FaultCapability>(5),
+  };
+  for (const auto& original : originals) {
+    const auto copy = registry.instantiate(original->descriptor());
+    EXPECT_EQ(copy->kind(), original->kind());
+    // A fresh copy admits at least one request.
+    cap::CallContext call;
+    call.direction = cap::Direction::request;
+    EXPECT_NO_THROW(copy->admit(call)) << original->kind();
+  }
+}
+
+TEST(RegistryExtras, KindsListIsComplete) {
+  const auto kinds = cap::CapabilityRegistry::instance().kinds();
+  for (const char* expected :
+       {"audit", "authentication", "checksum", "compression", "delegation",
+        "encryption", "fault", "lease", "padding", "quota", "ratelimit"}) {
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), expected), kinds.end())
+        << expected;
+  }
+}
+
+// ---- attenuation across mixed protocol tables ---------------------------------
+
+class MixedTableFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto lan = world_.add_lan("lan");
+    server_ctx_ = &world_.create_context(world_.add_machine("s", lan));
+    client_ctx_ = &world_.create_context(world_.add_machine("c", lan));
+  }
+
+  runtime::World world_;
+  orb::Context* server_ctx_ = nullptr;
+  orb::Context* client_ctx_ = nullptr;
+};
+
+TEST_F(MixedTableFixture, AttenuationPreservesOtherEntries) {
+  auto root = cap::DelegationCapability::make_root(crypto::Key128::from_seed(5));
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({root})
+                 .shm()
+                 .nexus()
+                 .build();
+
+  const auto narrowed = orb::attenuate_reference(ref, "method<=3");
+  ASSERT_EQ(narrowed.table().size(), 3u);
+  EXPECT_EQ(narrowed.table().at(0).name, "glue");
+  EXPECT_EQ(narrowed.table().at(1).name, "shm");
+  EXPECT_EQ(narrowed.table().at(2).name, "nexus-tcp");
+  EXPECT_EQ(narrowed.object_id(), ref.object_id());
+
+  // The glue entry is first and applicable everywhere, so even a caller on
+  // the server's own machine is restricted by the caveat.
+  orb::Context& colocated = world_.create_context(server_ctx_->machine());
+  EchoPointer local(colocated, narrowed);
+  EXPECT_THROW(local->reverse("abc"), CapabilityDenied);  // method 4
+  EXPECT_EQ(local->sum({1, 2}), 3);                       // method 2
+
+  // BUT: the untouched shm/nexus entries remain a bypass for any client
+  // whose pool skips glue — a table that mixes guarded and unguarded
+  // entries only *prefers* the guard, it does not enforce it.  Servers
+  // that want enforcement must publish glue-only tables (as the
+  // delegation suite does).
+  colocated.pool().disable("glue");
+  EXPECT_EQ(local->reverse("abc"), "cba");
+  EXPECT_EQ(local->last_protocol(), "shm");
+
+  // A remote caller with the standard pool goes through the glue.
+  EchoPointer remote(*client_ctx_, narrowed);
+  EXPECT_THROW(remote->reverse("abc"), CapabilityDenied);
+  EXPECT_EQ(remote->sum({1, 2}), 3);  // method 2: allowed
+}
+
+TEST_F(MixedTableFixture, AttenuationAppliesToEveryGlueEntry) {
+  auto root_a = cap::DelegationCapability::make_root(crypto::Key128::from_seed(6));
+  auto root_b = cap::DelegationCapability::make_root(crypto::Key128::from_seed(7));
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({root_a})
+                 .glue({root_b})
+                 .build();
+  const auto narrowed = orb::attenuate_reference(ref, "method<=1");
+  for (const auto& entry : narrowed.table().entries()) {
+    const auto data = proto::decode_glue_proto_data(entry.proto_data);
+    ASSERT_EQ(data.capabilities.size(), 1u);
+    EXPECT_NE(data.capabilities[0].get_or("caveats", ""), "");
+  }
+}
+
+// ---- metrics record glue protocol names -----------------------------------------
+
+TEST_F(MixedTableFixture, GlueCallsCountedUnderGlueName) {
+  auto& registry = metrics::MetricsRegistry::global();
+  registry.reset();
+
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({std::make_shared<cap::QuotaCapability>(10)})
+                 .build();
+  EchoPointer gp(*client_ctx_, ref);
+  gp->ping();
+  EXPECT_EQ(registry.counter("rmi.calls.glue"), 1u);
+  registry.reset();
+}
+
+// ---- capability denials counted as client errors ---------------------------------
+
+TEST_F(MixedTableFixture, ClientSideDenialsAreVisible) {
+  auto& registry = metrics::MetricsRegistry::global();
+  registry.reset();
+
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({std::make_shared<cap::QuotaCapability>(1)})
+                 .build();
+  EchoPointer gp(*client_ctx_, ref);
+  gp->ping();
+  EXPECT_THROW(gp->ping(), CapabilityDenied);
+  // The denial happened client-side (before the wire), so rmi.calls counts
+  // the attempt but no server request was made for it.
+  EXPECT_EQ(registry.counter("rmi.calls"), 2u);
+  EXPECT_EQ(registry.counter("server.requests"), 1u);
+  registry.reset();
+}
+
+// ---- pool gates custom protocols ---------------------------------------------------
+
+TEST_F(MixedTableFixture, PoolGatesRelayLikeAnyProtocol) {
+  proto::RelayForwarder gateway("gw/extras");
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .custom(proto::ProtocolEntry{
+                     "relay", proto::RelayProtocol::make_proto_data("gw/extras")})
+                 .nexus()
+                 .build();
+
+  // The standard pool does not allow "relay": selection falls through.
+  EchoPointer gp(*client_ctx_, ref);
+  gp->ping();
+  EXPECT_EQ(gp->last_protocol(), "nexus-tcp");
+
+  client_ctx_->pool().enable("relay");
+  gp->ping();
+  EXPECT_EQ(gp->last_protocol(), "relay[gw/extras]");
+  client_ctx_->pool().disable("relay");
+}
+
+}  // namespace
+}  // namespace ohpx

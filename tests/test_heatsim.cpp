@@ -1,0 +1,158 @@
+// Tests for the environmental-simulation scenario: physics sanity,
+// remote access, migration of real state, and input validation.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/runtime/migration.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/heatsim.hpp"
+
+namespace ohpx::scenario {
+namespace {
+
+TEST(HeatSimLocal, DiffusionSpreadsAndConserves) {
+  HeatSimServant sim;
+  sim.init(32, 32, 10.0);
+  sim.inject(16, 16, 1000.0);
+
+  const double before_neighbor = sim.sample(16, 17);
+  EXPECT_DOUBLE_EQ(before_neighbor, 10.0);
+
+  sim.step(10);
+  // Heat spread to the neighbourhood...
+  EXPECT_GT(sim.sample(16, 17), 10.0);
+  EXPECT_GT(sim.sample(15, 16), 10.0);
+  // ...the source cooled...
+  EXPECT_LT(sim.sample(16, 16), 1000.0);
+  // ...and everything stays within the initial extremes.
+  const auto [lo, hi] = sim.stats();
+  EXPECT_GE(lo, 10.0 - 1e-9);
+  EXPECT_LE(hi, 1000.0 + 1e-9);
+}
+
+TEST(HeatSimLocal, ConvergesTowardEquilibrium) {
+  HeatSimServant sim;
+  sim.init(16, 16, 0.0);
+  sim.inject(8, 8, 100.0);
+  const double early_delta = sim.step(1);
+  sim.step(200);
+  const double late_delta = sim.step(1);
+  EXPECT_LT(late_delta, early_delta);
+}
+
+TEST(HeatSimLocal, FetchMapDownsamples) {
+  HeatSimServant sim;
+  sim.init(16, 16, 1.0);
+  EXPECT_EQ(sim.fetch_map(1).size(), 256u);
+  EXPECT_EQ(sim.fetch_map(4).size(), 16u);
+  EXPECT_EQ(sim.fetch_map(16).size(), 1u);
+  EXPECT_EQ(sim.fetch_map(0).size(), 256u);  // stride 0 clamps to 1
+}
+
+TEST(HeatSimLocal, ValidationErrors) {
+  HeatSimServant sim;
+  EXPECT_THROW(sim.step(1), Error);           // not initialized
+  EXPECT_THROW(sim.init(0, 5, 0.0), Error);   // zero dimension
+  EXPECT_THROW(sim.init(5000, 5, 0.0), Error);  // too large
+  sim.init(4, 4, 0.0);
+  EXPECT_THROW(sim.inject(4, 0, 1.0), Error);   // out of range
+  EXPECT_THROW(sim.sample(0, 4), Error);
+}
+
+TEST(HeatSimLocal, SnapshotRestoreRoundTrip) {
+  HeatSimServant original;
+  original.init(8, 8, 5.0);
+  original.inject(2, 3, 50.0);
+  original.step(3);
+
+  HeatSimServant clone;
+  clone.restore(original.snapshot());
+  EXPECT_EQ(clone.cells(), 64u);
+  EXPECT_DOUBLE_EQ(clone.sample(2, 3), original.sample(2, 3));
+  EXPECT_EQ(clone.fetch_map(2), original.fetch_map(2));
+}
+
+TEST(HeatSimLocal, CorruptSnapshotRejected) {
+  HeatSimServant sim;
+  sim.init(4, 4, 0.0);
+  Bytes snap = sim.snapshot();
+  snap[3] = 99;  // rows field now disagrees with the grid payload
+  HeatSimServant victim;
+  EXPECT_THROW(victim.restore(snap), WireError);
+}
+
+// ---- remote access ------------------------------------------------------------
+
+class HeatSimRemote : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto lan = world_.add_lan("lan");
+    m_lab_ = world_.add_machine("bigiron", lan);
+    m_client_ = world_.add_machine("ws", lan);
+    lab_ctx_ = &world_.create_context(m_lab_);
+    client_ctx_ = &world_.create_context(m_client_);
+  }
+
+  runtime::World world_;
+  netsim::MachineId m_lab_{}, m_client_{};
+  orb::Context* lab_ctx_ = nullptr;
+  orb::Context* client_ctx_ = nullptr;
+};
+
+TEST_F(HeatSimRemote, FullLifecycleOverRmi) {
+  auto ref = orb::RefBuilder(*lab_ctx_, std::make_shared<HeatSimServant>()).build();
+  HeatSimPointer sim(*client_ctx_, ref);
+
+  sim->init(24, 24, 15.0);
+  sim->inject(12, 12, 500.0);
+  const double delta = sim->step(5);
+  EXPECT_GT(delta, 0.0);
+  EXPECT_GT(sim->sample(12, 13), 15.0);
+
+  const auto map = sim->fetch_map(6);
+  EXPECT_EQ(map.size(), 16u);
+  const auto [lo, hi] = sim->stats();
+  EXPECT_LT(lo, hi);
+}
+
+TEST_F(HeatSimRemote, ApplicationErrorsPropagate) {
+  auto ref = orb::RefBuilder(*lab_ctx_, std::make_shared<HeatSimServant>()).build();
+  HeatSimPointer sim(*client_ctx_, ref);
+  EXPECT_THROW(sim->step(1), RemoteError);  // not initialized
+}
+
+TEST_F(HeatSimRemote, MeteredMapAccess) {
+  auto servant = std::make_shared<HeatSimServant>();
+  servant->init(16, 16, 0.0);
+  const orb::ObjectId id = lab_ctx_->activate(servant);
+  auto metered = orb::RefBuilder(*lab_ctx_, id)
+                     .glue({std::make_shared<cap::QuotaCapability>(2)})
+                     .build();
+  HeatSimPointer paying_client(*client_ctx_, metered);
+  paying_client->fetch_map(4);
+  paying_client->fetch_map(4);
+  EXPECT_THROW(paying_client->fetch_map(4), CapabilityDenied);
+}
+
+TEST_F(HeatSimRemote, MigrationMovesTheWholeGrid) {
+  runtime::ServantTypeRegistry::instance().register_type<HeatSimServant>();
+  auto servant = std::make_shared<HeatSimServant>();
+  auto ref = orb::RefBuilder(*lab_ctx_, servant).build();
+  HeatSimPointer sim(*client_ctx_, ref);
+
+  sim->init(20, 20, 1.0);
+  sim->inject(5, 5, 99.0);
+  sim->step(2);
+  const auto map_before = sim->fetch_map(5);
+
+  orb::Context& local = world_.create_context(m_client_);
+  runtime::migrate_copy(ref.object_id(), *lab_ctx_, local);
+
+  EXPECT_EQ(sim->fetch_map(5), map_before);
+  EXPECT_EQ(sim->last_protocol(), "shm");
+  sim->step(1);  // still steppable after the move
+}
+
+}  // namespace
+}  // namespace ohpx::scenario

@@ -1,0 +1,142 @@
+// Tests for the HPC++ group-operation layer: broadcast, failover (any),
+// round-robin, mixed capability sets across members, and error handling.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/hpcxx/group_pointer.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/counter.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx::hpcxx {
+namespace {
+
+using scenario::CounterServant;
+using scenario::CounterStub;
+using scenario::EchoServant;
+using scenario::EchoStub;
+
+class GroupFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto lan = world_.add_lan("lan");
+    m_client_ = world_.add_machine("client", lan);
+    client_ctx_ = &world_.create_context(m_client_);
+    for (int i = 0; i < 3; ++i) {
+      const auto machine = world_.add_machine("node" + std::to_string(i), lan);
+      server_ctxs_.push_back(&world_.create_context(machine));
+    }
+  }
+
+  std::vector<orb::ObjectRef> make_counters() {
+    std::vector<orb::ObjectRef> refs;
+    for (auto* ctx : server_ctxs_) {
+      servants_.push_back(std::make_shared<CounterServant>());
+      refs.push_back(orb::RefBuilder(*ctx, servants_.back()).build());
+    }
+    return refs;
+  }
+
+  runtime::World world_;
+  netsim::MachineId m_client_{};
+  orb::Context* client_ctx_ = nullptr;
+  std::vector<orb::Context*> server_ctxs_;
+  std::vector<std::shared_ptr<CounterServant>> servants_;
+};
+
+TEST_F(GroupFixture, BroadcastReachesEveryMember) {
+  GroupPointer<CounterStub> group(*client_ctx_, make_counters());
+  ASSERT_EQ(group.size(), 3u);
+
+  const auto results = group.broadcast<std::int64_t>(
+      [](CounterStub& stub) { return stub.add(5); });
+  EXPECT_EQ(results, (std::vector<std::int64_t>{5, 5, 5}));
+  for (const auto& servant : servants_) EXPECT_EQ(servant->value(), 5);
+}
+
+TEST_F(GroupFixture, BroadcastPropagatesMemberFailure) {
+  auto refs = make_counters();
+  GroupPointer<CounterStub> group(*client_ctx_, refs);
+  // Kill one member's servant: its call fails, the broadcast rethrows.
+  server_ctxs_[1]->deactivate(refs[1].object_id());
+  EXPECT_THROW(group.broadcast<std::int64_t>(
+                   [](CounterStub& stub) { return stub.add(1); }),
+               ObjectError);
+  // Other members were still reached (concurrent fan-out).
+  EXPECT_EQ(servants_[0]->value() + servants_[2]->value(), 2);
+}
+
+TEST_F(GroupFixture, AnyFailsOverToNextMember) {
+  auto refs = make_counters();
+  GroupPointer<CounterStub> group(*client_ctx_, refs);
+  server_ctxs_[0]->deactivate(refs[0].object_id());
+
+  const std::int64_t result =
+      group.any<std::int64_t>([](CounterStub& stub) { return stub.add(7); });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(servants_[0]->value(), 0);  // dead member skipped
+  EXPECT_EQ(servants_[1]->value(), 7);  // first live member served
+  EXPECT_EQ(servants_[2]->value(), 0);  // never reached
+}
+
+TEST_F(GroupFixture, AnyRethrowsWhenAllFail) {
+  auto refs = make_counters();
+  GroupPointer<CounterStub> group(*client_ctx_, refs);
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    server_ctxs_[i]->deactivate(refs[i].object_id());
+  }
+  EXPECT_THROW(
+      group.any<std::int64_t>([](CounterStub& stub) { return stub.get(); }),
+      ObjectError);
+}
+
+TEST_F(GroupFixture, RoundRobinSpreadsCalls) {
+  GroupPointer<CounterStub> group(*client_ctx_, make_counters());
+  for (int i = 0; i < 9; ++i) {
+    group.round_robin<std::int64_t>(
+        [](CounterStub& stub) { return stub.add(1); });
+  }
+  for (const auto& servant : servants_) EXPECT_EQ(servant->value(), 3);
+}
+
+TEST_F(GroupFixture, EmptyGroupRefused) {
+  GroupPointer<CounterStub> group;
+  EXPECT_TRUE(group.empty());
+  EXPECT_THROW(
+      group.any<std::int64_t>([](CounterStub& stub) { return stub.get(); }),
+      ObjectError);
+  EXPECT_THROW(group.broadcast<std::int64_t>(
+                   [](CounterStub& stub) { return stub.get(); }),
+               ObjectError);
+}
+
+TEST_F(GroupFixture, MembersMayCarryDifferentCapabilities) {
+  // Member 0: metered (1 call); member 1: unrestricted.  Failover drains
+  // the quota then transparently moves on.
+  std::vector<orb::ObjectRef> refs;
+  auto s0 = std::make_shared<EchoServant>();
+  auto s1 = std::make_shared<EchoServant>();
+  refs.push_back(orb::RefBuilder(*server_ctxs_[0], s0)
+                     .glue({std::make_shared<cap::QuotaCapability>(1)})
+                     .build());
+  refs.push_back(orb::RefBuilder(*server_ctxs_[1], s1).build());
+
+  GroupPointer<EchoStub> group(*client_ctx_, refs);
+  group.any<std::uint64_t>([](EchoStub& stub) { return stub.ping(); });
+  group.any<std::uint64_t>([](EchoStub& stub) { return stub.ping(); });
+  group.any<std::uint64_t>([](EchoStub& stub) { return stub.ping(); });
+  EXPECT_EQ(s0->pings(), 1u);  // quota allowed exactly one
+  EXPECT_EQ(s1->pings(), 2u);  // the rest failed over
+}
+
+TEST_F(GroupFixture, AddGrowsTheGroup) {
+  GroupPointer<CounterStub> group;
+  auto refs = make_counters();
+  for (const auto& ref : refs) group.add(*client_ctx_, ref);
+  EXPECT_EQ(group.size(), 3u);
+  EXPECT_EQ(group.member(0).get(), 0);
+}
+
+}  // namespace
+}  // namespace ohpx::hpcxx

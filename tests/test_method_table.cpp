@@ -1,0 +1,129 @@
+// Tests for the declarative MethodTable skeleton helper.
+#include <gtest/gtest.h>
+
+#include "ohpx/orb/method_table.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/runtime/world.hpp"
+
+namespace ohpx::orb {
+namespace {
+
+class CalcServant final : public Servant {
+ public:
+  static constexpr std::string_view kTypeName = "Calc";
+  enum Method : std::uint32_t {
+    kAdd = 1,
+    kConcat = 2,
+    kStore = 3,
+    kLoad = 4,
+    kBoom = 5,
+  };
+
+  std::int64_t add(std::int64_t a, std::int64_t b) { return a + b; }
+  std::string concat(std::string a, std::string b, std::uint32_t repeat) {
+    std::string out;
+    for (std::uint32_t i = 0; i < repeat; ++i) out += a + b;
+    return out;
+  }
+  void store(double value) { stored_ = value; }
+  double load() const { return stored_; }
+  std::int32_t boom(std::int32_t) { throw std::runtime_error("calc boom"); }
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override {
+    static const auto kTable = MethodTable<CalcServant>{}
+                                   .bind(kAdd, &CalcServant::add)
+                                   .bind(kConcat, &CalcServant::concat)
+                                   .bind(kStore, &CalcServant::store)
+                                   .bind(kLoad, &CalcServant::load)
+                                   .bind(kBoom, &CalcServant::boom);
+    kTable.dispatch(*this, method_id, in, out);
+  }
+
+ private:
+  double stored_ = 0.0;
+};
+
+class CalcStub : public ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = CalcServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  std::int64_t add(std::int64_t a, std::int64_t b) {
+    return call<std::int64_t>(CalcServant::kAdd, a, b);
+  }
+  std::string concat(const std::string& a, const std::string& b,
+                     std::uint32_t repeat) {
+    return call<std::string>(CalcServant::kConcat, a, b, repeat);
+  }
+  void store(double value) { call<void>(CalcServant::kStore, value); }
+  double load() { return call<double>(CalcServant::kLoad); }
+  std::int32_t boom() { return call<std::int32_t>(CalcServant::kBoom, 1); }
+};
+
+class MethodTableFixture : public ::testing::Test {
+ protected:
+  MethodTableFixture() {
+    const auto lan = world_.add_lan("lan");
+    ctx_ = &world_.create_context(world_.add_machine("m", lan));
+    ref_ = RefBuilder(*ctx_, std::make_shared<CalcServant>()).build();
+  }
+
+  runtime::World world_;
+  Context* ctx_ = nullptr;
+  ObjectRef ref_;
+};
+
+TEST_F(MethodTableFixture, MultiArgMethods) {
+  GlobalPointer<CalcStub> calc(*ctx_, ref_);
+  EXPECT_EQ(calc->add(40, 2), 42);
+  EXPECT_EQ(calc->concat("ab", "c", 3), "abcabcabc");
+}
+
+TEST_F(MethodTableFixture, VoidAndConstMethods) {
+  GlobalPointer<CalcStub> calc(*ctx_, ref_);
+  calc->store(2.5);
+  EXPECT_DOUBLE_EQ(calc->load(), 2.5);
+}
+
+TEST_F(MethodTableFixture, ExceptionsStillPropagate) {
+  GlobalPointer<CalcStub> calc(*ctx_, ref_);
+  try {
+    calc->boom();
+    FAIL();
+  } catch (const RemoteError& e) {
+    EXPECT_STREQ(e.what(), "calc boom");
+  }
+}
+
+TEST_F(MethodTableFixture, UnknownMethodRaisesCanonicalError) {
+  CalcStub stub(*ctx_, ref_);
+  try {
+    stub.call<std::int32_t>(999);
+    FAIL();
+  } catch (const ObjectError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::method_not_found);
+  }
+}
+
+TEST(MethodTableUnit, SizeCountsBindings) {
+  const auto table = MethodTable<CalcServant>{}
+                         .bind(CalcServant::kAdd, &CalcServant::add)
+                         .bind(CalcServant::kLoad, &CalcServant::load);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(MethodTableUnit, MalformedArgumentsSurfaceAsWireErrors) {
+  CalcServant servant;
+  wire::Buffer args;  // empty: add() needs two i64s
+  wire::Decoder in(args.view());
+  wire::Buffer result;
+  wire::Encoder out(result);
+  EXPECT_THROW(servant.dispatch(CalcServant::kAdd, in, out), WireError);
+}
+
+}  // namespace
+}  // namespace ohpx::orb

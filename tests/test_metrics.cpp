@@ -1,0 +1,151 @@
+// Tests for the metrics module and the ORB's instrumentation of it.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ohpx/metrics/metrics.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx::metrics {
+namespace {
+
+using scenario::EchoPointer;
+using scenario::EchoServant;
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.mean().count(), 0);
+  EXPECT_EQ(histogram.approximate_quantile_us(0.5), 0u);
+}
+
+TEST(Histogram, RecordsAndBuckets) {
+  LatencyHistogram histogram;
+  histogram.record(std::chrono::microseconds(1));    // bucket 0 (<2us)
+  histogram.record(std::chrono::microseconds(3));    // [2,4)
+  histogram.record(std::chrono::microseconds(100));  // [64,128)
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.total(), Nanoseconds(104'000));
+
+  const auto buckets = histogram.buckets();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  std::uint64_t spread = 0;
+  for (const auto b : buckets) spread += b;
+  EXPECT_EQ(spread, 3u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.record(std::chrono::microseconds(10));
+  for (int i = 0; i < 10; ++i) histogram.record(std::chrono::milliseconds(10));
+  const auto p50 = histogram.approximate_quantile_us(0.5);
+  const auto p99 = histogram.approximate_quantile_us(0.99);
+  EXPECT_LE(p50, 16u);      // 10us lands in [8,16)
+  EXPECT_GE(p99, 8192u);    // 10ms is way up the scale
+  EXPECT_LE(p50, p99);
+}
+
+TEST(Registry, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.increment("a");
+  registry.increment("a", 4);
+  registry.increment("b");
+  EXPECT_EQ(registry.counter("a"), 5u);
+  EXPECT_EQ(registry.counter("b"), 1u);
+  EXPECT_EQ(registry.counter("missing"), 0u);
+  registry.reset();
+  EXPECT_EQ(registry.counter("a"), 0u);
+}
+
+TEST(Registry, LatencyByName) {
+  MetricsRegistry registry;
+  registry.record_latency("x", std::chrono::microseconds(5));
+  registry.record_latency("x", std::chrono::microseconds(15));
+  const LatencyHistogram* histogram = registry.histogram("x");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count(), 2u);
+  EXPECT_EQ(registry.histogram("missing"), nullptr);
+}
+
+TEST(Registry, SnapshotCapturesEverything) {
+  MetricsRegistry registry;
+  registry.increment("calls", 3);
+  registry.record_latency("lat", std::chrono::microseconds(10));
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("calls"), 3u);
+  EXPECT_EQ(snap.latency_counts.at("lat"), 1u);
+  EXPECT_NEAR(snap.latency_mean_us.at("lat"), 10.0, 0.5);
+}
+
+TEST(Registry, ScopedLatencyRecords) {
+  MetricsRegistry registry;
+  {
+    ScopedLatency sample(registry, "scoped");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(registry.histogram("scoped"), nullptr);
+  EXPECT_EQ(registry.histogram("scoped")->count(), 1u);
+  EXPECT_GE(registry.histogram("scoped")->mean().count(), 500'000);
+}
+
+TEST(Registry, ThreadSafeIncrements) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) registry.increment("shared");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("shared"), 4000u);
+}
+
+TEST(Registry, FormatSnapshotReadable) {
+  MetricsRegistry registry;
+  registry.increment("rmi.calls", 12);
+  registry.record_latency("rmi.latency", std::chrono::microseconds(30));
+  const std::string text = format_snapshot(registry.snapshot());
+  EXPECT_NE(text.find("rmi.calls"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+  EXPECT_NE(text.find("rmi.latency"), std::string::npos);
+  EXPECT_NE(text.find("samples"), std::string::npos);
+}
+
+// ---- ORB instrumentation -------------------------------------------------------
+
+TEST(OrbInstrumentation, CallsAndProtocolsCounted) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+
+  runtime::World world;
+  const auto lan = world.add_lan("lan");
+  const auto m0 = world.add_machine("m0", lan);
+  const auto m1 = world.add_machine("m1", lan);
+  orb::Context& client = world.create_context(m0);
+  orb::Context& server = world.create_context(m1);
+
+  auto ref = orb::RefBuilder(server, std::make_shared<EchoServant>()).build();
+  EchoPointer gp(client, ref);
+  gp->ping();
+  gp->ping();
+
+  EXPECT_EQ(registry.counter("rmi.calls"), 2u);
+  EXPECT_EQ(registry.counter("rmi.calls.nexus-tcp"), 2u);
+  EXPECT_EQ(registry.counter("server.requests"), 2u);
+  ASSERT_NE(registry.histogram("rmi.latency"), nullptr);
+  EXPECT_EQ(registry.histogram("rmi.latency")->count(), 2u);
+
+  try {
+    gp->fail();
+  } catch (const RemoteError&) {
+  }
+  EXPECT_EQ(registry.counter("rmi.errors.remote_application_error"), 1u);
+  EXPECT_EQ(registry.counter("server.errors.remote_application_error"), 1u);
+  registry.reset();
+}
+
+}  // namespace
+}  // namespace ohpx::metrics

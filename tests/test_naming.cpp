@@ -1,0 +1,146 @@
+// Unit + integration tests for the naming service: local directory
+// semantics, remote access through the ORB, capability-bearing references
+// resolved by name, and bootstrap across contexts.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/naming/name_service.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/counter.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx::naming {
+namespace {
+
+using scenario::EchoPointer;
+using scenario::EchoServant;
+
+class NamingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto lan = world_.add_lan("lan");
+    m_server_ = world_.add_machine("server", lan);
+    m_client_ = world_.add_machine("client", lan);
+    server_ctx_ = &world_.create_context(m_server_);
+    client_ctx_ = &world_.create_context(m_client_);
+    host_ = std::make_unique<NameServiceHost>(*server_ctx_);
+  }
+
+  orb::ObjectRef make_echo_ref() {
+    return orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+        .build();
+  }
+
+  runtime::World world_;
+  netsim::MachineId m_server_{}, m_client_{};
+  orb::Context* server_ctx_ = nullptr;
+  orb::Context* client_ctx_ = nullptr;
+  std::unique_ptr<NameServiceHost> host_;
+};
+
+// ---- local API ------------------------------------------------------------------
+
+TEST_F(NamingFixture, LocalBindResolveUnbind) {
+  auto& service = host_->service();
+  const auto ref = make_echo_ref();
+
+  service.bind("svc/echo", ref);
+  EXPECT_EQ(service.size(), 1u);
+  const auto resolved = service.resolve("svc/echo");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, ref);
+
+  EXPECT_TRUE(service.unbind("svc/echo"));
+  EXPECT_FALSE(service.unbind("svc/echo"));
+  EXPECT_FALSE(service.resolve("svc/echo").has_value());
+}
+
+TEST_F(NamingFixture, DuplicateBindNeedsRebindFlag) {
+  auto& service = host_->service();
+  const auto first = make_echo_ref();
+  const auto second = make_echo_ref();
+  service.bind("svc/echo", first);
+  EXPECT_THROW(service.bind("svc/echo", second), ObjectError);
+  service.bind("svc/echo", second, /*rebind=*/true);
+  EXPECT_EQ(service.resolve("svc/echo")->object_id(), second.object_id());
+}
+
+TEST_F(NamingFixture, InvalidRefRejected) {
+  EXPECT_THROW(host_->service().bind("bad", orb::ObjectRef{}), ObjectError);
+}
+
+TEST_F(NamingFixture, ListByPrefix) {
+  auto& service = host_->service();
+  service.bind("svc/echo", make_echo_ref());
+  service.bind("svc/weather", make_echo_ref());
+  service.bind("admin/console", make_echo_ref());
+
+  EXPECT_EQ(service.list("svc/").size(), 2u);
+  EXPECT_EQ(service.list("admin/").size(), 1u);
+  EXPECT_EQ(service.list("").size(), 3u);
+  EXPECT_TRUE(service.list("nothing/").empty());
+}
+
+// ---- remote access ----------------------------------------------------------------
+
+TEST_F(NamingFixture, RemoteBindAndResolve) {
+  NameServiceStub names(*client_ctx_, host_->ref());
+
+  const auto ref = make_echo_ref();
+  names.bind("remote/echo", ref);
+  EXPECT_EQ(host_->service().size(), 1u);  // visible server-side
+
+  const orb::ObjectRef resolved = names.resolve("remote/echo");
+  EXPECT_EQ(resolved, ref);
+
+  // The resolved reference is immediately usable.
+  EchoPointer gp(*client_ctx_, resolved);
+  EXPECT_EQ(gp->reverse("name"), "eman");
+}
+
+TEST_F(NamingFixture, RemoteResolveMissingThrowsTyped) {
+  NameServiceStub names(*client_ctx_, host_->ref());
+  try {
+    names.resolve("missing");
+    FAIL();
+  } catch (const ObjectError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::object_not_found);
+  }
+}
+
+TEST_F(NamingFixture, RemoteListAndUnbind) {
+  NameServiceStub names(*client_ctx_, host_->ref());
+  names.bind("a/1", make_echo_ref());
+  names.bind("a/2", make_echo_ref());
+  EXPECT_EQ(names.list("a/").size(), 2u);
+  EXPECT_TRUE(names.unbind("a/1"));
+  EXPECT_FALSE(names.unbind("a/1"));
+  EXPECT_EQ(names.list("a/").size(), 1u);
+}
+
+TEST_F(NamingFixture, ResolvedReferenceCarriesCapabilities) {
+  // The server publishes a metered reference under a name; a client that
+  // resolves it inherits the quota policy.
+  auto quota = std::make_shared<cap::QuotaCapability>(2);
+  auto metered = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                     .glue({quota})
+                     .build();
+  host_->service().bind("metered/echo", metered);
+
+  NameServiceStub names(*client_ctx_, host_->ref());
+  EchoPointer gp(*client_ctx_, names.resolve("metered/echo"));
+  gp->ping();
+  gp->ping();
+  EXPECT_THROW(gp->ping(), CapabilityDenied);
+}
+
+TEST_F(NamingFixture, BootstrapRefSerializable) {
+  // The host's own reference travels as bytes, like any other OR.
+  const Bytes raw = host_->ref().to_bytes();
+  NamePointer names = NamePointer::from_bytes(*client_ctx_, raw);
+  names->bind("boot/echo", make_echo_ref());
+  EXPECT_EQ(host_->service().list("boot/").size(), 1u);
+}
+
+}  // namespace
+}  // namespace ohpx::naming

@@ -1,0 +1,187 @@
+// Unit tests for the network simulation substrate: topology predicates,
+// link selection, modeled transfer time, campus grouping, load tracking.
+#include <gtest/gtest.h>
+
+#include "ohpx/netsim/topology.hpp"
+
+namespace ohpx::netsim {
+namespace {
+
+class TopologyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lan_a = topo.add_lan("a");
+    lan_b = topo.add_lan("b");
+    m0 = topo.add_machine("m0", lan_a);
+    m1 = topo.add_machine("m1", lan_a);
+    m2 = topo.add_machine("m2", lan_b);
+  }
+
+  Topology topo;
+  LanId lan_a{}, lan_b{};
+  MachineId m0{}, m1{}, m2{};
+};
+
+TEST_F(TopologyFixture, Counts) {
+  EXPECT_EQ(topo.lan_count(), 2u);
+  EXPECT_EQ(topo.machine_count(), 3u);
+  EXPECT_EQ(topo.machine_name(m2), "m2");
+  EXPECT_EQ(topo.lan_name(lan_b), "b");
+  EXPECT_EQ(topo.lan_of(m2), lan_b);
+}
+
+TEST_F(TopologyFixture, PlacementPredicates) {
+  EXPECT_TRUE(topo.same_machine(m0, m0));
+  EXPECT_FALSE(topo.same_machine(m0, m1));
+  EXPECT_TRUE(topo.same_lan(m0, m1));
+  EXPECT_FALSE(topo.same_lan(m0, m2));
+}
+
+TEST_F(TopologyFixture, CampusDefaultsToPerLan) {
+  EXPECT_TRUE(topo.same_campus(m0, m1));
+  EXPECT_FALSE(topo.same_campus(m0, m2));
+}
+
+TEST_F(TopologyFixture, CampusGrouping) {
+  topo.set_campus(lan_a, 7);
+  topo.set_campus(lan_b, 7);
+  EXPECT_TRUE(topo.same_campus(m0, m2));
+  EXPECT_EQ(topo.campus_of(lan_a), 7u);
+}
+
+TEST_F(TopologyFixture, LinkSelectionTiers) {
+  topo.set_lan_link(lan_a, atm_155());
+  topo.set_default_wan_link(wan_t3());
+
+  EXPECT_EQ(topo.link_between(m0, m0).name, "loopback");
+  EXPECT_EQ(topo.link_between(m0, m1).name, "atm-155");
+  EXPECT_EQ(topo.link_between(m0, m2).name, "wan-t3");
+
+  topo.set_wan_link(lan_a, lan_b, ethernet_10());
+  EXPECT_EQ(topo.link_between(m0, m2).name, "ethernet-10");
+  EXPECT_EQ(topo.link_between(m2, m0).name, "ethernet-10");  // symmetric
+}
+
+TEST_F(TopologyFixture, LoopbackOverride) {
+  LinkSpec fast{"numa", 10e9, Nanoseconds(100)};
+  topo.set_loopback_link(fast);
+  EXPECT_EQ(topo.link_between(m1, m1).name, "numa");
+}
+
+TEST_F(TopologyFixture, UnknownIdsThrow) {
+  EXPECT_THROW(topo.machine_name(99), Error);
+  EXPECT_THROW(topo.same_lan(0, 99), Error);
+  EXPECT_THROW(topo.set_lan_link(99, atm_155()), Error);
+  EXPECT_THROW(topo.add_machine("x", 99), Error);
+  EXPECT_THROW(topo.load(42), Error);
+}
+
+TEST_F(TopologyFixture, LoadTracking) {
+  topo.set_load(m0, 0.8);
+  topo.add_load(m0, 0.1);
+  EXPECT_DOUBLE_EQ(topo.load(m0), 0.9);
+  EXPECT_DOUBLE_EQ(topo.load(m1), 0.0);
+  EXPECT_EQ(topo.least_loaded(), m1);  // ties broken by lowest id
+  topo.set_load(m1, 0.5);
+  topo.set_load(m2, 0.2);
+  EXPECT_EQ(topo.least_loaded(), m2);
+}
+
+TEST(TopologyEmpty, LeastLoadedThrowsWithNoMachines) {
+  Topology topo;
+  EXPECT_THROW(topo.least_loaded(), Error);
+}
+
+// ---- link math -------------------------------------------------------------
+
+TEST(LinkSpecTest, TransferTimeMath) {
+  LinkSpec link{"test", 100e6, Nanoseconds(1000)};  // 100 Mbps, 1 us latency
+  // 1 MB at 100 Mbps = 8e6 bits / 1e8 bps = 80 ms.
+  const auto t = link.transfer_time(1'000'000);
+  EXPECT_NEAR(static_cast<double>(t.count()), 80e6 + 1000, 1e3);
+}
+
+TEST(LinkSpecTest, ZeroBytesIsPureLatency) {
+  LinkSpec link{"test", 100e6, Nanoseconds(12345)};
+  EXPECT_EQ(link.transfer_time(0).count(), 12345);
+}
+
+TEST(LinkSpecTest, ZeroBandwidthDegradesToLatency) {
+  LinkSpec link{"broken", 0.0, Nanoseconds(5)};
+  EXPECT_EQ(link.transfer_time(1'000'000).count(), 5);
+}
+
+TEST(LinkSpecTest, PresetsAreOrderedBySpeed) {
+  EXPECT_LT(ethernet_10().bandwidth_bps, fast_ethernet_100().bandwidth_bps);
+  EXPECT_LT(fast_ethernet_100().bandwidth_bps, atm_155().bandwidth_bps);
+  EXPECT_LT(atm_155().bandwidth_bps, loopback().bandwidth_bps);
+  EXPECT_GT(wan_t3().latency, atm_155().latency);
+}
+
+// ---- Placement wrapper ---------------------------------------------------------
+
+TEST(PlacementTest, DelegatesToTopology) {
+  Topology topo;
+  const LanId lan = topo.add_lan("l");
+  const MachineId a = topo.add_machine("a", lan);
+  const MachineId b = topo.add_machine("b", lan);
+
+  Placement same{a, a, &topo};
+  Placement diff{a, b, &topo};
+  EXPECT_TRUE(same.same_machine());
+  EXPECT_FALSE(diff.same_machine());
+  EXPECT_TRUE(diff.same_lan());
+  EXPECT_TRUE(diff.same_campus());
+  EXPECT_EQ(diff.link().name, "ethernet-100");  // default LAN link
+}
+
+TEST(PlacementTest, NullTopologyIsSafe) {
+  Placement detached;
+  EXPECT_FALSE(detached.resolvable());
+  EXPECT_FALSE(detached.same_machine());
+  EXPECT_FALSE(detached.same_lan());
+  EXPECT_FALSE(detached.same_campus());
+  // Unresolvable placements are treated as "somewhere across the WAN".
+  EXPECT_EQ(detached.link().name, "wan-t3");
+}
+
+TEST(PlacementTest, ForeignMachineIdsAreNotLocal) {
+  // Machine ids minted by another process mean nothing here; predicates
+  // must answer false (never throw), and the link falls back to WAN.
+  Topology topo;
+  const LanId lan = topo.add_lan("l");
+  const MachineId local = topo.add_machine("local", lan);
+  const MachineId foreign = 9999;
+
+  Placement placement{local, foreign, &topo};
+  EXPECT_FALSE(placement.resolvable());
+  EXPECT_FALSE(placement.same_machine());
+  EXPECT_FALSE(placement.same_lan());
+  EXPECT_FALSE(placement.same_campus());
+  EXPECT_EQ(placement.link().name, "wan-t3");
+  EXPECT_TRUE(topo.has_machine(local));
+  EXPECT_FALSE(topo.has_machine(foreign));
+}
+
+// ---- parameterized sweep: transfer time scales linearly -------------------------
+
+class TransferTimeSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(TransferTimeSweep, LinearInBytes) {
+  const auto [bandwidth, bytes] = GetParam();
+  LinkSpec link{"sweep", bandwidth, Nanoseconds(0)};
+  const double expected_seconds = static_cast<double>(bytes) * 8.0 / bandwidth;
+  const double actual_seconds =
+      static_cast<double>(link.transfer_time(bytes).count()) / 1e9;
+  EXPECT_NEAR(actual_seconds, expected_seconds, expected_seconds * 1e-6 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TransferTimeSweep,
+    ::testing::Combine(::testing::Values(10e6, 100e6, 155e6, 1e9),
+                       ::testing::Values(1ull, 1024ull, 1048576ull,
+                                         16777216ull)));
+
+}  // namespace
+}  // namespace ohpx::netsim

@@ -1,0 +1,370 @@
+// Unit tests for the ORB core: object references, the location service,
+// contexts (registration + the server frame pipeline, including hostile
+// frames), reference building, stubs and global pointers.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/checksum.hpp"
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/orb/context.hpp"
+#include "ohpx/transport/inproc.hpp"
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/orb/location.hpp"
+#include "ohpx/orb/object_ref.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/protocol/glue_wire.hpp"
+#include "ohpx/scenario/counter.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx::orb {
+namespace {
+
+using scenario::EchoServant;
+using scenario::EchoStub;
+
+class OrbFixture : public ::testing::Test {
+ protected:
+  OrbFixture()
+      : lan_(topology_.add_lan("lan")),
+        machine_(topology_.add_machine("box", lan_)),
+        context_(Context::allocate_id(), machine_, topology_, location_) {}
+
+  netsim::Topology topology_;
+  LocationService location_;
+  netsim::LanId lan_;
+  netsim::MachineId machine_;
+  Context context_;
+};
+
+// ---- object references --------------------------------------------------------
+
+TEST_F(OrbFixture, ObjectRefSerializationRoundTrip) {
+  const ObjectRef ref =
+      RefBuilder(context_, std::make_shared<EchoServant>()).build();
+  const ObjectRef back = ObjectRef::from_bytes(ref.to_bytes());
+  EXPECT_EQ(back, ref);
+  EXPECT_EQ(back.type_name(), "Echo");
+  EXPECT_EQ(back.home().context_id, context_.id());
+  EXPECT_EQ(back.home().endpoint, context_.endpoint_name());
+}
+
+TEST_F(OrbFixture, InvalidRefRejected) {
+  ObjectRef invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_THROW(ObjectRef::from_bytes(invalid.to_bytes()), ObjectError);
+  EXPECT_THROW(ObjectRef::from_bytes(Bytes{1, 2, 3}), WireError);
+}
+
+TEST(AddressCodec, RoundTrip) {
+  proto::ServerAddress address;
+  address.context_id = 3;
+  address.machine = 4;
+  address.endpoint = "ctx/3";
+  address.tcp_host = "127.0.0.1";
+  address.tcp_port = 8080;
+  address.epoch = 12;
+
+  wire::Buffer buf;
+  wire::Encoder enc(buf);
+  serialize_address(enc, address);
+  wire::Decoder dec(buf.view());
+  const proto::ServerAddress back = deserialize_address(dec);
+  EXPECT_EQ(back.context_id, 3u);
+  EXPECT_EQ(back.machine, 4u);
+  EXPECT_EQ(back.endpoint, "ctx/3");
+  EXPECT_EQ(back.tcp_port, 8080);
+  EXPECT_EQ(back.epoch, 12u);
+}
+
+// ---- location service -----------------------------------------------------------
+
+TEST(LocationServiceTest, PublishResolveRemove) {
+  LocationService location;
+  EXPECT_FALSE(location.resolve(1).has_value());
+  EXPECT_EQ(location.epoch_of(1), 0u);
+
+  proto::ServerAddress address;
+  address.context_id = 9;
+  location.publish(1, address);
+  ASSERT_TRUE(location.resolve(1).has_value());
+  EXPECT_EQ(location.resolve(1)->context_id, 9u);
+  EXPECT_EQ(location.epoch_of(1), 1u);
+  EXPECT_EQ(location.size(), 1u);
+
+  location.remove(1);
+  EXPECT_FALSE(location.resolve(1).has_value());
+}
+
+TEST(LocationServiceTest, RepublishBumpsEpoch) {
+  LocationService location;
+  proto::ServerAddress address;
+  location.publish(5, address);
+  location.publish(5, address);
+  location.publish(5, address);
+  EXPECT_EQ(location.epoch_of(5), 3u);
+}
+
+// ---- context: registration --------------------------------------------------------
+
+TEST_F(OrbFixture, ActivateRegistersAndPublishes) {
+  auto servant = std::make_shared<EchoServant>();
+  const ObjectId id = context_.activate(servant);
+  EXPECT_TRUE(context_.hosts(id));
+  EXPECT_EQ(context_.find_servant(id), servant);
+  ASSERT_TRUE(location_.resolve(id).has_value());
+  EXPECT_EQ(location_.resolve(id)->context_id, context_.id());
+
+  context_.deactivate(id);
+  EXPECT_FALSE(context_.hosts(id));
+  EXPECT_FALSE(location_.resolve(id).has_value());
+}
+
+TEST_F(OrbFixture, ActivateNullRejected) {
+  EXPECT_THROW(context_.activate(nullptr), ObjectError);
+}
+
+TEST_F(OrbFixture, UniqueObjectAndRequestIds) {
+  const ObjectId a = context_.activate(std::make_shared<EchoServant>());
+  const ObjectId b = context_.activate(std::make_shared<EchoServant>());
+  EXPECT_NE(a, b);
+
+  const auto r1 = context_.next_request_id();
+  const auto r2 = context_.next_request_id();
+  EXPECT_NE(r1, r2);
+  // Context id is folded into the high bits.
+  EXPECT_EQ(r1 >> 40, context_.id());
+}
+
+TEST_F(OrbFixture, HostedObjectsListed) {
+  const ObjectId a = context_.activate(std::make_shared<EchoServant>());
+  const ObjectId b = context_.activate(std::make_shared<EchoServant>());
+  const auto hosted = context_.hosted_objects();
+  EXPECT_EQ(hosted.size(), 2u);
+  EXPECT_TRUE(std::count(hosted.begin(), hosted.end(), a) == 1);
+  EXPECT_TRUE(std::count(hosted.begin(), hosted.end(), b) == 1);
+}
+
+// ---- context: server pipeline hostile inputs ----------------------------------------
+
+wire::Buffer request_frame(ObjectId object_id, std::uint32_t method,
+                           const wire::Buffer& payload,
+                           std::uint16_t flags = 0) {
+  wire::MessageHeader header;
+  header.type = wire::MessageType::request;
+  header.flags = flags;
+  header.request_id = 1234;
+  header.object_id = object_id;
+  header.method_or_code = method;
+  return wire::encode_frame(header, payload.view());
+}
+
+std::uint32_t error_code_of(const wire::Buffer& reply_frame) {
+  BytesView body;
+  const wire::MessageHeader header = wire::decode_frame(reply_frame.view(), body);
+  EXPECT_EQ(header.type, wire::MessageType::error_reply);
+  std::uint32_t code = 0;
+  std::string message;
+  wire::decode_error_body(body, code, message);
+  return code;
+}
+
+TEST_F(OrbFixture, GarbageFrameYieldsErrorReply) {
+  const wire::Buffer garbage(Bytes(64, 0x77));
+  const wire::Buffer reply = context_.handle_frame(garbage);
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::wire_bad_magic));
+}
+
+TEST_F(OrbFixture, UnknownObjectYieldsObjectNotFound) {
+  const wire::Buffer reply =
+      context_.handle_frame(request_frame(99999, 1, wire::Buffer{}));
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::object_not_found));
+}
+
+TEST_F(OrbFixture, MigratedObjectYieldsStaleReference) {
+  const ObjectId id = context_.activate(std::make_shared<EchoServant>());
+  // Simulate migration completed elsewhere: location points to another
+  // context while this one no longer hosts the servant.
+  proto::ServerAddress elsewhere;
+  elsewhere.context_id = context_.id() + 1;
+  location_.publish(id, elsewhere);
+  context_.deactivate(id, /*forget_location=*/false);
+
+  const wire::Buffer reply =
+      context_.handle_frame(request_frame(id, 1, wire::Buffer{}));
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::stale_reference));
+}
+
+TEST_F(OrbFixture, UnknownMethodYieldsMethodNotFound) {
+  const ObjectId id = context_.activate(std::make_shared<EchoServant>());
+  const wire::Buffer reply =
+      context_.handle_frame(request_frame(id, 424242, wire::Buffer{}));
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::method_not_found));
+}
+
+TEST_F(OrbFixture, NonRequestFrameRejected) {
+  wire::MessageHeader header;
+  header.type = wire::MessageType::reply;
+  header.object_id = 1;
+  const wire::Buffer reply =
+      context_.handle_frame(wire::encode_frame(header, {}));
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::protocol_unknown));
+}
+
+TEST_F(OrbFixture, GlueFlagWithoutBindingRejected) {
+  const ObjectId id = context_.activate(std::make_shared<EchoServant>());
+  wire::Buffer payload;
+  proto::prepend_glue_id(payload, 424242);  // no such binding
+  const wire::Buffer reply = context_.handle_frame(
+      request_frame(id, 1, payload, wire::kFlagGlueProcessed));
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::capability_unknown));
+}
+
+TEST_F(OrbFixture, GlueBindingObjectMismatchRejected) {
+  const ObjectId intended = context_.activate(std::make_shared<EchoServant>());
+  const ObjectId other = context_.activate(std::make_shared<EchoServant>());
+  const std::uint32_t glue_id =
+      context_.register_glue(intended, cap::CapabilityChain{});
+
+  // Present `other` with a glue id registered for `intended`: refused.
+  wire::Buffer payload;
+  proto::prepend_glue_id(payload, glue_id);
+  const wire::Buffer reply = context_.handle_frame(
+      request_frame(other, 1, payload, wire::kFlagGlueProcessed));
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::capability_denied));
+}
+
+TEST_F(OrbFixture, CorruptGluePayloadRejectedByChain) {
+  const ObjectId id = context_.activate(std::make_shared<EchoServant>());
+  const std::uint32_t glue_id = context_.register_glue(
+      id, cap::CapabilityChain({std::make_shared<cap::ChecksumCapability>()}));
+
+  wire::Buffer payload(Bytes{1, 2, 3});  // not checksum-protected
+  proto::prepend_glue_id(payload, glue_id);
+  const wire::Buffer reply = context_.handle_frame(
+      request_frame(id, 1, payload, wire::kFlagGlueProcessed));
+  EXPECT_EQ(error_code_of(reply),
+            static_cast<std::uint32_t>(ErrorCode::capability_bad_payload));
+}
+
+// ---- glue binding management ----------------------------------------------------------
+
+TEST_F(OrbFixture, GlueBindingsTrackedPerObject) {
+  const ObjectId a = context_.activate(std::make_shared<EchoServant>());
+  const ObjectId b = context_.activate(std::make_shared<EchoServant>());
+  const auto g1 = context_.register_glue(a, cap::CapabilityChain{});
+  const auto g2 = context_.register_glue(a, cap::CapabilityChain{});
+  const auto g3 = context_.register_glue(b, cap::CapabilityChain{});
+  EXPECT_NE(g1, g2);
+
+  EXPECT_EQ(context_.glue_bindings_of(a).size(), 2u);
+  EXPECT_EQ(context_.glue_bindings_of(b).size(), 1u);
+  EXPECT_NE(context_.find_glue(g3), nullptr);
+
+  context_.remove_glue_of(a);
+  EXPECT_TRUE(context_.glue_bindings_of(a).empty());
+  EXPECT_EQ(context_.find_glue(g1), nullptr);
+  EXPECT_NE(context_.find_glue(g3), nullptr);
+}
+
+// ---- RefBuilder --------------------------------------------------------------------------
+
+TEST_F(OrbFixture, DefaultTableIsShmThenNexus) {
+  const ObjectRef ref =
+      RefBuilder(context_, std::make_shared<EchoServant>()).build();
+  ASSERT_EQ(ref.table().size(), 2u);
+  EXPECT_EQ(ref.table().at(0).name, "shm");
+  EXPECT_EQ(ref.table().at(1).name, "nexus-tcp");
+}
+
+TEST_F(OrbFixture, GlueEntryCarriesDescriptors) {
+  auto quota = std::make_shared<cap::QuotaCapability>(7);
+  const ObjectRef ref = RefBuilder(context_, std::make_shared<EchoServant>())
+                            .glue({quota})
+                            .build();
+  ASSERT_EQ(ref.table().size(), 1u);
+  EXPECT_EQ(ref.table().at(0).name, "glue");
+  const auto data = proto::decode_glue_proto_data(ref.table().at(0).proto_data);
+  ASSERT_EQ(data.capabilities.size(), 1u);
+  EXPECT_EQ(data.capabilities[0].kind, "quota");
+  EXPECT_EQ(data.delegate.name, "nexus-tcp");
+  // The instances passed in became the server-side chain.
+  EXPECT_NE(context_.find_glue(data.glue_id), nullptr);
+}
+
+TEST_F(OrbFixture, MultipleRefsForOneObject) {
+  auto servant = std::make_shared<EchoServant>();
+  const ObjectRef full = RefBuilder(context_, servant).build();
+  const ObjectRef metered =
+      RefBuilder(context_, full.object_id())
+          .glue({std::make_shared<cap::QuotaCapability>(1)})
+          .build();
+  EXPECT_EQ(full.object_id(), metered.object_id());
+  EXPECT_NE(full.table(), metered.table());
+}
+
+TEST_F(OrbFixture, BuilderForMissingObjectRejected) {
+  EXPECT_THROW(RefBuilder(context_, ObjectId{987654}), ObjectError);
+}
+
+// ---- stubs / global pointers ----------------------------------------------------------------
+
+TEST_F(OrbFixture, UnboundStubThrows) {
+  EchoStub unbound;
+  EXPECT_FALSE(unbound.bound());
+  EXPECT_THROW(unbound.ping(), ObjectError);
+  EXPECT_THROW(unbound.ref(), ObjectError);
+}
+
+TEST_F(OrbFixture, StubCopiesShareState) {
+  const ObjectRef ref =
+      RefBuilder(context_, std::make_shared<EchoServant>()).build();
+  EchoStub first(context_, ref);
+  EchoStub second = first;  // copy shares the CallCore
+  first.ping();
+  EXPECT_EQ(second.last_protocol(), "shm");
+}
+
+TEST_F(OrbFixture, GlobalPointerTypeChecked) {
+  const ObjectRef ref =
+      RefBuilder(context_, std::make_shared<EchoServant>()).build();
+  EXPECT_NO_THROW(GlobalPointer<EchoStub>(context_, ref));
+  try {
+    GlobalPointer<scenario::CounterStub> wrong(context_, ref);
+    FAIL();
+  } catch (const ObjectError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::type_mismatch);
+  }
+}
+
+TEST_F(OrbFixture, GlobalPointerSerializeRebind) {
+  const ObjectRef ref =
+      RefBuilder(context_, std::make_shared<EchoServant>()).build();
+  GlobalPointer<EchoStub> gp(context_, ref);
+  const Bytes raw = gp.to_bytes();
+  auto rebound = GlobalPointer<EchoStub>::from_bytes(context_, raw);
+  EXPECT_EQ(rebound->reverse("xy"), "yx");
+}
+
+TEST_F(OrbFixture, EmptyTableRejectedAtBind) {
+  ObjectRef ref(1234, "Echo", context_.current_address(), proto::ProtoTable{});
+  EXPECT_THROW(EchoStub(context_, ref), ProtocolError);
+}
+
+TEST_F(OrbFixture, ContextDestructionUnbindsEndpoint) {
+  std::string endpoint;
+  {
+    Context temporary(Context::allocate_id(), machine_, topology_, location_);
+    endpoint = temporary.endpoint_name();
+    EXPECT_TRUE(transport::EndpointRegistry::instance().contains(endpoint));
+  }
+  EXPECT_FALSE(transport::EndpointRegistry::instance().contains(endpoint));
+}
+
+}  // namespace
+}  // namespace ohpx::orb

@@ -1,0 +1,247 @@
+// Spec-conformance suite: each test quotes a claim from the paper and
+// asserts the corresponding behaviour, organized by paper section.  Most
+// of these behaviours are also covered incidentally elsewhere; this file
+// is the explicit paper-text → assertion mapping.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/authentication.hpp"
+#include "ohpx/capability/builtin/encryption.hpp"
+#include "ohpx/capability/builtin/lease.hpp"
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/protocol/glue_wire.hpp"
+#include "ohpx/protocol/registry.hpp"
+#include "ohpx/runtime/migration.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx {
+namespace {
+
+using scenario::EchoPointer;
+using scenario::EchoServant;
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lan1_ = world_.add_lan("lan1");
+    lan2_ = world_.add_lan("lan2");
+    m_server_ = world_.add_machine("server", lan1_);
+    m_local_ = world_.add_machine("local", lan1_);
+    m_remote_ = world_.add_machine("remote", lan2_);
+    server_ctx_ = &world_.create_context(m_server_);
+    local_ctx_ = &world_.create_context(m_local_);
+    remote_ctx_ = &world_.create_context(m_remote_);
+  }
+
+  runtime::World world_;
+  netsim::LanId lan1_{}, lan2_{};
+  netsim::MachineId m_server_{}, m_local_{}, m_remote_{};
+  orb::Context* server_ctx_ = nullptr;
+  orb::Context* local_ctx_ = nullptr;
+  orb::Context* remote_ctx_ = nullptr;
+};
+
+// §1: "Different clients may have different requirements for accessing a
+// single server resource." — one object, several ORs with different
+// policies, all live at once.
+TEST_F(PaperClaims, S1_PerClientAccessPolicies) {
+  auto servant = std::make_shared<EchoServant>();
+  const orb::ObjectId id = server_ctx_->activate(servant);
+
+  auto open_ref = orb::RefBuilder(*server_ctx_, id).build();
+  auto metered_ref = orb::RefBuilder(*server_ctx_, id)
+                         .glue({std::make_shared<cap::QuotaCapability>(1)})
+                         .build();
+
+  EchoPointer open_client(*local_ctx_, open_ref);
+  EchoPointer metered_client(*local_ctx_, metered_ref);
+  open_client->ping();
+  open_client->ping();
+  metered_client->ping();
+  EXPECT_THROW(metered_client->ping(), CapabilityDenied);
+  EXPECT_NO_THROW(open_client->ping());  // other reference unaffected
+  EXPECT_EQ(servant->pings(), 4u);       // one object served them all
+}
+
+// §1: "Some clients may be given access to the weather data only for the
+// time they have paid for."
+TEST_F(PaperClaims, S1_TimeLimitedAccess) {
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({std::make_shared<cap::LeaseCapability>(
+                     std::chrono::milliseconds(50))})
+                 .build();
+  EchoPointer gp(*local_ctx_, ref);
+  EXPECT_NO_THROW(gp->ping());
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  EXPECT_THROW(gp->ping(), CapabilityDenied);
+}
+
+// §3.1: "The protocols in the OR are ordered by preference."
+TEST_F(PaperClaims, S31_TablePreservesPreferenceOrder) {
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({std::make_shared<cap::QuotaCapability>(10)})
+                 .shm()
+                 .nexus()
+                 .build();
+  ASSERT_EQ(ref.table().size(), 3u);
+  EXPECT_EQ(ref.table().at(0).name, "glue");
+  EXPECT_EQ(ref.table().at(1).name, "shm");
+  EXPECT_EQ(ref.table().at(2).name, "nexus-tcp");
+}
+
+// §3.1: "As different GPs to a single server object may contain ORs with
+// different protocol tables, the GPs may support different communication
+// protocols."
+TEST_F(PaperClaims, S31_DifferentTablesDifferentProtocols) {
+  auto servant = std::make_shared<EchoServant>();
+  const orb::ObjectId id = server_ctx_->activate(servant);
+
+  auto nexus_only = orb::RefBuilder(*server_ctx_, id).nexus().build();
+  auto glue_only =
+      orb::RefBuilder(*server_ctx_, id)
+          .glue({std::make_shared<cap::QuotaCapability>(100)})
+          .build();
+
+  EchoPointer via_nexus(*local_ctx_, nexus_only);
+  EchoPointer via_glue(*local_ctx_, glue_only);
+  via_nexus->ping();
+  via_glue->ping();
+  EXPECT_EQ(via_nexus->last_protocol(), "nexus-tcp");
+  EXPECT_EQ(via_glue->last_protocol(), "glue[quota]->nexus-tcp");
+}
+
+// §3.2: "the protocols in the GP's OR are compared with those in the
+// proto-pool and the first match is used".
+TEST_F(PaperClaims, S32_PoolIntersectionFirstMatch) {
+  orb::Context& colocated = world_.create_context(m_local_);
+  auto ref = orb::RefBuilder(colocated, std::make_shared<EchoServant>())
+                 .shm()
+                 .nexus()
+                 .build();
+  EchoPointer gp(*local_ctx_, ref);
+  gp->ping();
+  EXPECT_EQ(gp->last_protocol(), "shm");  // first applicable entry
+
+  local_ctx_->pool().disable("shm");  // user control via the pool
+  gp->ping();
+  EXPECT_EQ(gp->last_protocol(), "nexus-tcp");
+  local_ctx_->pool().enable("shm");
+}
+
+// §3.2: "custom protocols are supported by having users write their own
+// proto-classes that satisfy a standard interface."
+TEST_F(PaperClaims, S32_CustomProtocolsViaStandardInterface) {
+  EXPECT_TRUE(proto::ProtocolRegistry::instance().contains("shm"));
+  // The extension tests register "local-only"/"test-custom"; here we only
+  // assert the mechanism exists and unknown names degrade gracefully.
+  proto::ProtoTable table;
+  table.add(proto::ProtocolEntry{"from-the-future", {}});
+  table.add(proto::ProtocolEntry{"nexus-tcp", {}});
+  const auto protocols =
+      proto::ProtocolRegistry::instance().instantiate_table(table);
+  ASSERT_EQ(protocols.size(), 1u);
+  EXPECT_EQ(protocols[0]->name(), "nexus-tcp");
+}
+
+// §4.2: the glue chain — client processes, server "un-processes the
+// request in the reverse order of the processing done on the client side",
+// and replies "follow the same path back".
+TEST_F(PaperClaims, S42_GlueRoundTripThroughOrderedChain) {
+  const auto key = crypto::Key128::from_seed(0x42);
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({std::make_shared<cap::EncryptionCapability>(key),
+                        std::make_shared<cap::AuthenticationCapability>(
+                            key, "claims", cap::Scope::always)})
+                 .build();
+  EchoPointer gp(*remote_ctx_, ref);
+  const std::vector<std::int32_t> values{1, -2, 3};
+  EXPECT_EQ(gp->echo(values), values);  // survives process+unprocess both ways
+}
+
+// §4.2: "GC has its own copies of the capabilities" — server-side copies
+// are live objects the server can observe.
+TEST_F(PaperClaims, S42_ServerHoldsItsOwnCapabilityCopies) {
+  auto quota = std::make_shared<cap::QuotaCapability>(10);
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({quota})
+                 .build();
+  EchoPointer gp(*local_ctx_, ref);
+  gp->ping();
+  gp->ping();
+  EXPECT_EQ(quota->used(), 2u);  // the very instance handed to RefBuilder
+}
+
+// §4: "Capabilities can be exchanged between processes" — a serialized OR
+// carries its capability descriptors.
+TEST_F(PaperClaims, S4_CapabilitiesTravelInsideReferences) {
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({std::make_shared<cap::QuotaCapability>(5)})
+                 .build();
+  const auto rebuilt = orb::ObjectRef::from_bytes(ref.to_bytes());
+  const auto data =
+      proto::decode_glue_proto_data(rebuilt.table().at(0).proto_data);
+  ASSERT_EQ(data.capabilities.size(), 1u);
+  EXPECT_EQ(data.capabilities[0].kind, "quota");
+  EXPECT_EQ(data.capabilities[0].params.at("max_calls"), "5");
+}
+
+// §4.3: "The applicability of a glue protocol is the logical AND of all
+// its constituent capabilities."
+TEST_F(PaperClaims, S43_GlueApplicabilityIsAnd) {
+  auto ref =
+      orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+          .glue({std::make_shared<cap::QuotaCapability>(10, cap::Scope::always),
+                 std::make_shared<cap::AuthenticationCapability>(
+                     crypto::Key128::from_seed(1), "x", cap::Scope::cross_lan)})
+          .nexus()
+          .build();
+
+  // Same-LAN client: the cross_lan member vetoes the whole glue entry.
+  EchoPointer local(*local_ctx_, ref);
+  local->ping();
+  EXPECT_EQ(local->last_protocol(), "nexus-tcp");
+
+  // Cross-LAN client: every member applies, glue wins.
+  EchoPointer remote(*remote_ctx_, ref);
+  remote->ping();
+  EXPECT_EQ(remote->last_protocol(), "glue[quota,authentication]->nexus-tcp");
+}
+
+// §4.3 / §5: migration changes the chosen protocol "without any client
+// code change" — capabilities "can also be changed dynamically".
+TEST_F(PaperClaims, S43_MigrationRetargetsSameGlobalPointer) {
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .shm()
+                 .nexus()
+                 .build();
+  EchoPointer gp(*local_ctx_, ref);
+  gp->ping();
+  EXPECT_EQ(gp->last_protocol(), "nexus-tcp");
+
+  orb::Context& colocated = world_.create_context(m_local_);
+  runtime::migrate_shared(ref.object_id(), *server_ctx_, colocated);
+  gp->ping();
+  EXPECT_EQ(gp->last_protocol(), "shm");
+}
+
+// §6: unlike OIP illities ("associated with a piece of code (a thread)"),
+// capabilities are "associated with a communication endpoint", so two
+// threads sharing a reference share its capability state.
+TEST_F(PaperClaims, S6_CapabilitiesBindToReferencesNotThreads) {
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .glue({std::make_shared<cap::QuotaCapability>(2)})
+                 .build();
+  EchoPointer gp(*local_ctx_, ref);
+
+  std::thread first([&] { gp->ping(); });
+  first.join();
+  std::thread second([&] { gp->ping(); });
+  second.join();
+  // The budget was consumed across threads: the reference, not the
+  // thread, carries the capability.
+  EXPECT_THROW(gp->ping(), CapabilityDenied);
+}
+
+}  // namespace
+}  // namespace ohpx

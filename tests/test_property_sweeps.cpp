@@ -1,0 +1,212 @@
+// Cross-module property tests (TEST_P sweeps):
+//  * protocol selection invariant over every machine-pair placement of the
+//    Figure 4 topology — the selected protocol must always be the first
+//    table entry whose applicability predicate holds;
+//  * end-to-end echo over every protocol × payload-size grid;
+//  * capability-chain identity through the *full* RMI pipeline rather than
+//    in isolation.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/authentication.hpp"
+#include "ohpx/capability/builtin/checksum.hpp"
+#include "ohpx/capability/builtin/compression.hpp"
+#include "ohpx/capability/builtin/encryption.hpp"
+#include "ohpx/capability/builtin/quota.hpp"
+#include "ohpx/common/rng.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/runtime/migration.hpp"
+#include "ohpx/scenario/counter.hpp"
+#include "ohpx/scenario/echo.hpp"
+#include "ohpx/scenario/figure4.hpp"
+
+namespace ohpx {
+namespace {
+
+using scenario::EchoPointer;
+using scenario::EchoServant;
+
+std::vector<std::int32_t> pattern_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int32_t> values(n);
+  for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+  return values;
+}
+
+// ---- selection invariant across all placements ------------------------------------
+
+// For every machine the server can sit on, the protocol chosen by a client
+// on M0 must equal the first applicable entry computed from first
+// principles (the paper's §3.2 selection rule).
+TEST(SelectionInvariant, FirstApplicableAcrossAllPlacements) {
+  scenario::Figure4Scenario fig(netsim::atm_155(), netsim::wan_t3());
+  EchoPointer gp = fig.client_pointer();
+
+  const auto expected_for = [&](netsim::MachineId server) -> std::string {
+    netsim::Placement placement{fig.m0(), server, &fig.world().topology()};
+    // Table: glue[quota(cross_lan), auth(cross_campus)], glue[quota],
+    // shm, nexus-tcp.
+    if (!placement.same_campus() && !placement.same_lan()) {
+      return "glue[quota,authentication]->nexus-tcp";
+    }
+    if (!placement.same_lan()) {
+      return "glue[quota]->nexus-tcp";
+    }
+    if (placement.same_machine()) {
+      return "shm";
+    }
+    return "nexus-tcp";
+  };
+
+  const std::vector<netsim::MachineId> stations = {fig.m2(), fig.m3(), fig.m0(),
+                                                   fig.m1(), fig.m3(), fig.m2()};
+  for (netsim::MachineId station : stations) {
+    if (fig.server_machine() != station) fig.migrate_to(station);
+    EXPECT_EQ(gp->probe_protocol(), expected_for(station))
+        << "server on machine " << station;
+    // And the probe agrees with what an actual call uses.
+    gp->ping();
+    EXPECT_EQ(gp->last_protocol(), expected_for(station));
+  }
+}
+
+// ---- echo grid: protocol × payload size ---------------------------------------------
+
+enum class Transport { shm, nexus, tcp, glue_full };
+
+struct GridCase {
+  Transport transport;
+  std::size_t elements;
+};
+
+GridCase gc(Transport transport, std::size_t elements) {
+  return GridCase{transport, elements};
+}
+
+std::string grid_case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  static constexpr const char* kNames[] = {"shm", "nexus", "tcp", "glue"};
+  return std::string(kNames[static_cast<int>(info.param.transport)]) + "_" +
+         std::to_string(info.param.elements);
+}
+
+class EchoGrid : public ::testing::TestWithParam<GridCase> {
+ protected:
+  static runtime::World& world() {
+    static runtime::World* w = [] {
+      auto* world = new runtime::World();
+      const auto lan = world->add_lan("lan");
+      machine_a() = world->add_machine("a", lan);
+      machine_b() = world->add_machine("b", lan);
+      return world;
+    }();
+    return *w;
+  }
+  static netsim::MachineId& machine_a() {
+    static netsim::MachineId m;
+    return m;
+  }
+  static netsim::MachineId& machine_b() {
+    static netsim::MachineId m;
+    return m;
+  }
+};
+
+TEST_P(EchoGrid, RoundTripsExactly) {
+  const auto param = GetParam();
+  auto& w = world();
+
+  orb::Context& client = w.create_context(machine_a());
+  orb::Context& server = w.create_context(
+      param.transport == Transport::shm ? machine_a() : machine_b());
+
+  orb::RefBuilder builder(server, std::make_shared<EchoServant>());
+  std::string expected_protocol;
+  switch (param.transport) {
+    case Transport::shm:
+      builder.shm();
+      expected_protocol = "shm";
+      break;
+    case Transport::nexus:
+      builder.nexus();
+      expected_protocol = "nexus-tcp";
+      break;
+    case Transport::tcp:
+      server.enable_tcp();
+      builder.tcp();
+      expected_protocol = "tcp";
+      break;
+    case Transport::glue_full: {
+      const auto key = crypto::Key128::from_seed(1);
+      builder.glue({std::make_shared<cap::CompressionCapability>(
+                        compress::CodecId::lz),
+                    std::make_shared<cap::EncryptionCapability>(key),
+                    std::make_shared<cap::AuthenticationCapability>(
+                        key, "grid", cap::Scope::always),
+                    std::make_shared<cap::ChecksumCapability>()},
+                   "nexus-tcp");
+      expected_protocol =
+          "glue[compression,encryption,authentication,checksum]->nexus-tcp";
+      break;
+    }
+  }
+
+  EchoPointer gp(client, builder.build());
+  const auto values =
+      pattern_values(param.elements, param.elements * 31 + 7);
+  EXPECT_EQ(gp->echo(values), values);
+  EXPECT_EQ(gp->last_protocol(), expected_protocol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EchoGrid,
+    ::testing::Values(
+        gc(Transport::shm, 0), gc(Transport::shm, 1),
+        gc(Transport::shm, 1000), gc(Transport::shm, 100000),
+        gc(Transport::nexus, 0), gc(Transport::nexus, 1),
+        gc(Transport::nexus, 1000), gc(Transport::nexus, 100000),
+        gc(Transport::tcp, 0), gc(Transport::tcp, 1),
+        gc(Transport::tcp, 1000), gc(Transport::tcp, 100000),
+        gc(Transport::glue_full, 0), gc(Transport::glue_full, 1),
+        gc(Transport::glue_full, 1000),
+        gc(Transport::glue_full, 100000)),
+    grid_case_name);
+
+// ---- migration churn: state survives arbitrary hop sequences --------------------------
+
+class MigrationChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationChurn, CounterSurvivesRandomHops) {
+  Xoshiro256 rng(GetParam());
+
+  runtime::World world;
+  const auto lan = world.add_lan("lan");
+  std::vector<orb::Context*> contexts;
+  for (int i = 0; i < 4; ++i) {
+    const auto machine = world.add_machine("m" + std::to_string(i), lan);
+    contexts.push_back(&world.create_context(machine));
+  }
+  orb::Context& client = world.create_context(world.add_machine("cl", lan));
+
+  auto servant = std::make_shared<scenario::CounterServant>();
+  const orb::ObjectRef ref = orb::RefBuilder(*contexts[0], servant).build();
+  scenario::CounterPointer gp(client, ref);
+
+  std::int64_t expected = 0;
+  for (int hop = 0; hop < 12; ++hop) {
+    const std::int64_t delta = static_cast<std::int64_t>(rng.next_below(100));
+    expected += delta;
+    EXPECT_EQ(gp->add(delta), expected);
+
+    orb::Context* from = world.find_context_of(ref.object_id());
+    orb::Context* to = contexts[rng.next_below(contexts.size())];
+    if (to != from) {
+      runtime::migrate_shared(ref.object_id(), *from, *to);
+    }
+    EXPECT_EQ(gp->get(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationChurn,
+                         ::testing::Values(7, 77, 777, 7777));
+
+}  // namespace
+}  // namespace ohpx

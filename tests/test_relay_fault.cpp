@@ -1,0 +1,146 @@
+// Tests for the relay protocol (gateway traversal) and the fault-injection
+// capability, including their combination with group-pointer failover.
+#include <gtest/gtest.h>
+
+#include "ohpx/capability/builtin/fault.hpp"
+#include "ohpx/capability/registry.hpp"
+#include "ohpx/hpcxx/group_pointer.hpp"
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/protocol/relay.hpp"
+#include "ohpx/runtime/migration.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx {
+namespace {
+
+using scenario::EchoPointer;
+using scenario::EchoServant;
+using scenario::EchoStub;
+
+class RelayFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto lan = world_.add_lan("lan");
+    m_client_ = world_.add_machine("client", lan);
+    m_gateway_ = world_.add_machine("gateway", lan);
+    m_server_ = world_.add_machine("server", lan);
+    client_ctx_ = &world_.create_context(m_client_);
+    server_ctx_ = &world_.create_context(m_server_);
+  }
+
+  runtime::World world_;
+  netsim::MachineId m_client_{}, m_gateway_{}, m_server_{};
+  orb::Context* client_ctx_ = nullptr;
+  orb::Context* server_ctx_ = nullptr;
+};
+
+TEST_F(RelayFixture, CallsTraverseTheGateway) {
+  proto::RelayForwarder gateway("gw/main");
+
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .custom(proto::ProtocolEntry{
+                     "relay", proto::RelayProtocol::make_proto_data("gw/main")})
+                 .build();
+  client_ctx_->pool().enable("relay");
+
+  EchoPointer gp(*client_ctx_, ref);
+  EXPECT_EQ(gp->reverse("gw"), "wg");
+  EXPECT_EQ(gp->last_protocol(), "relay[gw/main]");
+  EXPECT_EQ(gateway.forwarded(), 1u);
+}
+
+TEST_F(RelayFixture, RelayFollowsMigration) {
+  proto::RelayForwarder gateway("gw/mig");
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .custom(proto::ProtocolEntry{
+                     "relay", proto::RelayProtocol::make_proto_data("gw/mig")})
+                 .build();
+  client_ctx_->pool().enable("relay");
+  EchoPointer gp(*client_ctx_, ref);
+  EXPECT_EQ(gp->ping(), 1u);
+
+  // The relay forwards to the *current* endpoint: after migration the
+  // envelope targets the new context.
+  orb::Context& elsewhere = world_.create_context(m_gateway_);
+  runtime::migrate_shared(ref.object_id(), *server_ctx_, elsewhere);
+  EXPECT_EQ(gp->ping(), 2u);
+  EXPECT_EQ(gateway.forwarded(), 2u);
+}
+
+TEST_F(RelayFixture, GatewayDownMakesRelayInapplicable) {
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .custom(proto::ProtocolEntry{
+                     "relay", proto::RelayProtocol::make_proto_data("gw/gone")})
+                 .nexus()
+                 .build();
+  client_ctx_->pool().enable("relay");
+  EchoPointer gp(*client_ctx_, ref);
+
+  // No forwarder bound: the relay entry is skipped, nexus carries the call.
+  EXPECT_EQ(gp->ping(), 1u);
+  EXPECT_EQ(gp->last_protocol(), "nexus-tcp");
+
+  // Bring the gateway up: the preferred relay entry takes over.
+  proto::RelayForwarder gateway("gw/gone");
+  EXPECT_EQ(gp->ping(), 2u);
+  EXPECT_EQ(gp->last_protocol(), "relay[gw/gone]");
+}
+
+TEST_F(RelayFixture, EmptyGatewayNameRejected) {
+  EXPECT_THROW(proto::RelayProtocol(""), ProtocolError);
+}
+
+// ---- fault capability ------------------------------------------------------------
+
+TEST(FaultCapabilityTest, RefusesEveryNth) {
+  cap::FaultCapability fault(3);
+  cap::CallContext call;
+  call.direction = cap::Direction::request;
+  int refused = 0;
+  for (int i = 0; i < 9; ++i) {
+    try {
+      fault.admit(call);
+    } catch (const CapabilityDenied&) {
+      ++refused;
+    }
+  }
+  EXPECT_EQ(refused, 3);
+  EXPECT_EQ(fault.refused(), 3u);
+  EXPECT_EQ(fault.admitted(), 6u);
+}
+
+TEST(FaultCapabilityTest, ZeroRejected) {
+  EXPECT_THROW(cap::FaultCapability(0), CapabilityDenied);
+}
+
+TEST(FaultCapabilityTest, DescriptorRoundTrip) {
+  cap::FaultCapability fault(7);
+  const auto copy =
+      cap::CapabilityRegistry::instance().instantiate(fault.descriptor());
+  EXPECT_EQ(copy->kind(), "fault");
+}
+
+TEST_F(RelayFixture, FaultCapabilityDrivesGroupFailover) {
+  // Replica 0 fails every 2nd request; any() transparently retries on
+  // replica 1, so the caller sees no failures at all.
+  auto flaky_servant = std::make_shared<EchoServant>();
+  auto stable_servant = std::make_shared<EchoServant>();
+  auto flaky = orb::RefBuilder(*server_ctx_, flaky_servant)
+                   .glue({std::make_shared<cap::FaultCapability>(2)})
+                   .build();
+  auto stable = orb::RefBuilder(*server_ctx_, stable_servant).build();
+
+  hpcxx::GroupPointer<EchoStub> group(*client_ctx_, {flaky, stable});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NO_THROW(group.any<std::uint64_t>(
+        [](EchoStub& stub) { return stub.ping(); }));
+  }
+  // The flaky replica served some, the stable one absorbed the faults.
+  EXPECT_GT(flaky_servant->pings(), 0u);
+  EXPECT_GT(stable_servant->pings(), 0u);
+  EXPECT_EQ(flaky_servant->pings() + stable_servant->pings(), 10u);
+}
+
+}  // namespace
+}  // namespace ohpx

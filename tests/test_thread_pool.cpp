@@ -1,0 +1,83 @@
+// Tests for the thread pool: execution, futures, exception propagation,
+// shutdown discipline, concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/common/thread_pool.hpp"
+
+namespace ohpx {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.async([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, AsyncReturnsValues) {
+  ThreadPool pool(2);
+  auto future = pool.async([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, AsyncPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.async([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelismActuallyHappens) {
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(pool.async([&] {
+      const int now = ++inside;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      --inside;
+    }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, PendingCountsQueuedWork) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  auto blocker = pool.async([&gate] { gate.get_future().wait(); });
+  // With the single worker blocked, further tasks queue up.
+  auto a = pool.async([] {});
+  auto b = pool.async([] {});
+  EXPECT_GE(pool.pending(), 1u);
+  gate.set_value();
+  blocker.get();
+  a.get();
+  b.get();
+}
+
+TEST(ThreadPoolTest, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
+  EXPECT_EQ(ThreadPool::shared().async([] { return 7; }).get(), 7);
+}
+
+}  // namespace
+}  // namespace ohpx

@@ -1,0 +1,111 @@
+// Tests for callback subscriptions: references as callback handles,
+// oneway fan-out, dead-subscriber pruning, and cross-machine callbacks.
+#include <gtest/gtest.h>
+
+#include "ohpx/orb/ref_builder.hpp"
+#include "ohpx/runtime/migration.hpp"
+#include "ohpx/runtime/world.hpp"
+#include "ohpx/scenario/ticker.hpp"
+
+namespace ohpx::scenario {
+namespace {
+
+class TickerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto lan = world_.add_lan("lan");
+    m_server_ = world_.add_machine("server", lan);
+    m_client_ = world_.add_machine("client", lan);
+    server_ctx_ = &world_.create_context(m_server_);
+    client_ctx_ = &world_.create_context(m_client_);
+
+    ticker_servant_ = std::make_shared<TickerServant>(*server_ctx_);
+    ticker_ref_ = orb::RefBuilder(*server_ctx_, ticker_servant_).build();
+  }
+
+  /// Exports a listener from the *client* context and returns its ref.
+  orb::ObjectRef export_listener(std::shared_ptr<TickListenerServant>& out) {
+    out = std::make_shared<TickListenerServant>();
+    return orb::RefBuilder(*client_ctx_, out).build();
+  }
+
+  runtime::World world_;
+  netsim::MachineId m_server_{}, m_client_{};
+  orb::Context* server_ctx_ = nullptr;
+  orb::Context* client_ctx_ = nullptr;
+  std::shared_ptr<TickerServant> ticker_servant_;
+  orb::ObjectRef ticker_ref_;
+};
+
+TEST_F(TickerFixture, SubscribersReceivePublishedTicks) {
+  TickerPointer ticker(*client_ctx_, ticker_ref_);
+
+  std::shared_ptr<TickListenerServant> a, b;
+  const auto ref_a = export_listener(a);
+  const auto ref_b = export_listener(b);
+
+  ticker->subscribe(ref_a);
+  ticker->subscribe(ref_b);
+  EXPECT_EQ(ticker->count(), 2u);
+
+  EXPECT_EQ(ticker->publish(7), 2u);
+  EXPECT_EQ(ticker->publish(8), 2u);
+
+  EXPECT_EQ(a->received(), (std::vector<std::int32_t>{7, 8}));
+  EXPECT_EQ(b->received(), (std::vector<std::int32_t>{7, 8}));
+}
+
+TEST_F(TickerFixture, UnsubscribeStopsDelivery) {
+  TickerPointer ticker(*client_ctx_, ticker_ref_);
+  std::shared_ptr<TickListenerServant> a;
+  const std::uint32_t token = ticker->subscribe(export_listener(a));
+
+  ticker->publish(1);
+  EXPECT_TRUE(ticker->unsubscribe(token));
+  EXPECT_FALSE(ticker->unsubscribe(token));
+  ticker->publish(2);
+  EXPECT_EQ(a->received(), (std::vector<std::int32_t>{1}));
+}
+
+TEST_F(TickerFixture, DeadSubscribersPrunedOnPublish) {
+  TickerPointer ticker(*client_ctx_, ticker_ref_);
+  std::shared_ptr<TickListenerServant> alive, doomed;
+  ticker->subscribe(export_listener(alive));
+  const auto doomed_ref = export_listener(doomed);
+  ticker->subscribe(doomed_ref);
+  EXPECT_EQ(ticker->count(), 2u);
+
+  // Kill the doomed listener's object entirely.
+  client_ctx_->deactivate(doomed_ref.object_id());
+
+  EXPECT_EQ(ticker->publish(5), 1u);  // only the live one reached
+  EXPECT_EQ(ticker->count(), 1u);     // dead one pruned
+  EXPECT_EQ(alive->received(), (std::vector<std::int32_t>{5}));
+}
+
+TEST_F(TickerFixture, NonListenerReferencesRefused) {
+  TickerPointer ticker(*client_ctx_, ticker_ref_);
+  // Hand the ticker a reference to itself (wrong interface).
+  EXPECT_THROW(ticker->subscribe(ticker_ref_), ObjectError);
+}
+
+TEST_F(TickerFixture, CallbacksFollowMigratedSubscribers) {
+  TickerPointer ticker(*client_ctx_, ticker_ref_);
+  std::shared_ptr<TickListenerServant> listener;
+  const auto listener_ref = export_listener(listener);
+  ticker->subscribe(listener_ref);
+
+  ticker->publish(1);
+
+  // Move the *listener* to another machine; the ticker's stored reference
+  // resolves the new location on the next publish.
+  orb::Context& elsewhere =
+      world_.create_context(world_.add_machine("third", world_.topology().lan_of(m_client_)));
+  runtime::migrate_shared(listener_ref.object_id(), *client_ctx_, elsewhere);
+
+  EXPECT_EQ(ticker->publish(2), 1u);
+  EXPECT_EQ(listener->received(), (std::vector<std::int32_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace ohpx::scenario

@@ -1,0 +1,257 @@
+// Unit tests for the transport layer: endpoint registry, in-process
+// channel, simulated-network channel cost accounting, and the real TCP
+// listener/channel pair (loopback sockets).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ohpx/transport/inproc.hpp"
+#include "ohpx/transport/sim.hpp"
+#include "ohpx/transport/tcp.hpp"
+
+namespace ohpx::transport {
+namespace {
+
+wire::Buffer make_payload(std::string_view text) {
+  return wire::Buffer(reinterpret_cast<const std::uint8_t*>(text.data()),
+                      text.size());
+}
+
+FrameHandler upper_caser() {
+  return [](const wire::Buffer& request) {
+    wire::Buffer reply = request;
+    for (auto& b : reply.mutable_view()) {
+      if (b >= 'a' && b <= 'z') b = static_cast<std::uint8_t>(b - 'a' + 'A');
+    }
+    return reply;
+  };
+}
+
+// ---- endpoint registry ----------------------------------------------------------
+
+TEST(EndpointRegistryTest, BindLookupUnbind) {
+  auto& registry = EndpointRegistry::instance();
+  const std::string name = "test/ep-1";
+  registry.bind(name, upper_caser());
+  EXPECT_TRUE(registry.contains(name));
+  FrameHandler handler = registry.lookup(name);
+  EXPECT_EQ(handler(make_payload("hi")).bytes(), bytes_of("HI"));
+  registry.unbind(name);
+  EXPECT_FALSE(registry.contains(name));
+}
+
+TEST(EndpointRegistryTest, LookupMissingThrows) {
+  try {
+    EndpointRegistry::instance().lookup("test/no-such");
+    FAIL();
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::transport_unknown_endpoint);
+  }
+}
+
+TEST(EndpointRegistryTest, RebindReplacesHandler) {
+  auto& registry = EndpointRegistry::instance();
+  const std::string name = "test/ep-rebind";
+  registry.bind(name, [](const wire::Buffer&) { return make_payload("old"); });
+  registry.bind(name, [](const wire::Buffer&) { return make_payload("new"); });
+  EXPECT_EQ(registry.lookup(name)(make_payload("")).bytes(), bytes_of("new"));
+  registry.unbind(name);
+}
+
+// ---- in-process channel -----------------------------------------------------------
+
+TEST(InProcChannelTest, RoundTripAndLedger) {
+  auto& registry = EndpointRegistry::instance();
+  registry.bind("test/inproc", upper_caser());
+
+  InProcChannel channel("test/inproc");
+  CostLedger ledger;
+  wire::Buffer reply = channel.roundtrip(make_payload("abc"), ledger);
+  EXPECT_EQ(reply.bytes(), bytes_of("ABC"));
+  EXPECT_EQ(ledger.bytes_sent(), 3u);
+  EXPECT_EQ(ledger.bytes_received(), 3u);
+  EXPECT_EQ(ledger.modeled().count(), 0);
+  EXPECT_EQ(channel.describe(), "inproc:test/inproc");
+
+  registry.unbind("test/inproc");
+}
+
+TEST(InProcChannelTest, ResolvesPerCall) {
+  auto& registry = EndpointRegistry::instance();
+  InProcChannel channel("test/latebound");
+  CostLedger ledger;
+  // Endpoint does not exist yet.
+  EXPECT_THROW(channel.roundtrip(make_payload("x"), ledger), TransportError);
+  // Binding afterwards makes the same channel object work (migration
+  // depends on this late-binding behaviour).
+  registry.bind("test/latebound", upper_caser());
+  EXPECT_EQ(channel.roundtrip(make_payload("x"), ledger).bytes(), bytes_of("X"));
+  registry.unbind("test/latebound");
+}
+
+// ---- simulated-network channel -------------------------------------------------------
+
+TEST(SimChannelTest, ChargesModeledTimeBothWays) {
+  auto& registry = EndpointRegistry::instance();
+  registry.bind("test/sim", upper_caser());
+
+  netsim::LinkSpec link{"lab", 8e6, Nanoseconds(1000)};  // 1 MB/s, 1 us
+  SimChannel channel("test/sim", link);
+  CostLedger ledger;
+  channel.roundtrip(make_payload(std::string(1000, 'a')), ledger);
+  // Each direction: 1000 ns latency + 1000 bytes / 1 MBps = 1 ms.
+  const double modeled_ms =
+      static_cast<double>(ledger.modeled().count()) / 1e6;
+  EXPECT_NEAR(modeled_ms, 2.002, 0.01);
+
+  registry.unbind("test/sim");
+}
+
+TEST(SimChannelTest, LinkProviderReevaluatedPerCall) {
+  auto& registry = EndpointRegistry::instance();
+  registry.bind("test/sim2", upper_caser());
+
+  std::atomic<int> calls{0};
+  SimChannel channel("test/sim2", [&calls]() {
+    ++calls;
+    return netsim::LinkSpec{"dyn", 1e9, Nanoseconds(10)};
+  });
+  CostLedger ledger;
+  channel.roundtrip(make_payload("a"), ledger);
+  channel.roundtrip(make_payload("b"), ledger);
+  EXPECT_GE(calls.load(), 2);
+
+  registry.unbind("test/sim2");
+}
+
+// ---- real TCP ---------------------------------------------------------------------------
+
+TEST(TcpTest, RoundTripOverLoopback) {
+  TcpListener listener(0, upper_caser());
+  ASSERT_GT(listener.port(), 0);
+
+  TcpChannel channel("127.0.0.1", listener.port());
+  CostLedger ledger;
+  wire::Buffer reply = channel.roundtrip(make_payload("hello tcp"), ledger);
+  EXPECT_EQ(reply.bytes(), bytes_of("HELLO TCP"));
+  EXPECT_GT(ledger.real().count(), 0);
+  EXPECT_EQ(ledger.bytes_sent(), 9u);
+}
+
+TEST(TcpTest, LargeFrames) {
+  TcpListener listener(0, [](const wire::Buffer& request) { return request; });
+  TcpChannel channel("127.0.0.1", listener.port());
+  CostLedger ledger;
+
+  std::string big(4 * 1024 * 1024, 'z');
+  wire::Buffer reply = channel.roundtrip(make_payload(big), ledger);
+  EXPECT_EQ(reply.size(), big.size());
+}
+
+TEST(TcpTest, SequentialRequestsOnOneConnection) {
+  std::atomic<int> served{0};
+  TcpListener listener(0, [&served](const wire::Buffer& request) {
+    ++served;
+    return request;
+  });
+  TcpChannel channel("127.0.0.1", listener.port());
+  CostLedger ledger;
+  for (int i = 0; i < 50; ++i) {
+    channel.roundtrip(make_payload("ping"), ledger);
+  }
+  EXPECT_EQ(served.load(), 50);
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  TcpListener listener(0, upper_caser());
+  const std::uint16_t port = listener.port();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([port, &failures] {
+      try {
+        TcpChannel channel("127.0.0.1", port);
+        CostLedger ledger;
+        for (int i = 0; i < 20; ++i) {
+          if (channel.roundtrip(make_payload("abc"), ledger).bytes() !=
+              bytes_of("ABC")) {
+            ++failures;
+          }
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TcpTest, ConnectToDeadPortFails) {
+  // Grab an ephemeral port, then close the listener so nothing listens.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0, upper_caser());
+    dead_port = listener.port();
+  }
+  try {
+    TcpChannel channel("127.0.0.1", dead_port);
+    CostLedger ledger;
+    channel.roundtrip(make_payload("x"), ledger);
+    FAIL() << "expected connect failure";
+  } catch (const TransportError& e) {
+    EXPECT_TRUE(e.code() == ErrorCode::transport_connect_failed ||
+                e.code() == ErrorCode::transport_closed ||
+                e.code() == ErrorCode::transport_io);
+  }
+}
+
+TEST(TcpTest, BadAddressRejected) {
+  EXPECT_THROW(TcpChannel("not-an-ip", 1234), TransportError);
+}
+
+TEST(TcpTest, ListenerStopIsIdempotent) {
+  TcpListener listener(0, upper_caser());
+  listener.stop();
+  listener.stop();
+}
+
+TEST(TcpTest, ServerStopClosesClients) {
+  auto listener = std::make_unique<TcpListener>(0, upper_caser());
+  TcpChannel channel("127.0.0.1", listener->port());
+  CostLedger ledger;
+  channel.roundtrip(make_payload("a"), ledger);
+  listener.reset();  // server goes away
+  EXPECT_THROW(
+      {
+        channel.roundtrip(make_payload("b"), ledger);
+        channel.roundtrip(make_payload("c"), ledger);
+      },
+      TransportError);
+}
+
+// ---- handler errors don't kill the server ------------------------------------------------
+
+TEST(TcpTest, HandlerExceptionDropsConnectionOnly) {
+  std::atomic<int> calls{0};
+  TcpListener listener(0, [&calls](const wire::Buffer& request) {
+    if (++calls == 1) throw std::runtime_error("boom");
+    return request;
+  });
+
+  {
+    TcpChannel first("127.0.0.1", listener.port());
+    CostLedger ledger;
+    EXPECT_THROW(first.roundtrip(make_payload("x"), ledger), TransportError);
+  }
+  // A fresh connection still works.
+  TcpChannel second("127.0.0.1", listener.port());
+  CostLedger ledger;
+  EXPECT_EQ(second.roundtrip(make_payload("ok"), ledger).bytes(),
+            bytes_of("ok"));
+}
+
+}  // namespace
+}  // namespace ohpx::transport

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON output into EXPERIMENTS.md-style tables.
+
+Usage:
+    build/bench/bench_fig5_atm --benchmark_format=json > fig5.json
+    tools/bench_to_markdown.py fig5.json
+
+Rows are grouped by the benchmark family (the part before the first '/'),
+columns are the numeric arguments, and the reported value is the `Mbps`
+counter when present (the convention of the Figure 5 / Figure 4 benches),
+falling back to bytes_per_second or real_time.
+"""
+import json
+import sys
+from collections import defaultdict
+
+
+def value_of(benchmark: dict) -> str:
+    if "Mbps" in benchmark:
+        return f"{benchmark['Mbps']:.1f} Mbps"
+    if "Mbps_effective" in benchmark:
+        return f"{benchmark['Mbps_effective']:.1f} Mbps"
+    if "bytes_per_second" in benchmark:
+        return f"{benchmark['bytes_per_second'] / 1e6:.1f} MB/s"
+    unit = benchmark.get("time_unit", "ns")
+    return f"{benchmark.get('real_time', 0):.0f} {unit}"
+
+
+def split_name(name: str) -> tuple[str, str]:
+    # "Family/123/iterations:8/manual_time" -> ("Family", "123")
+    parts = name.split("/")
+    family = parts[0]
+    args = [p for p in parts[1:] if p and p[0].isdigit()]
+    return family, "/".join(args) if args else "-"
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as handle:
+        report = json.load(handle)
+
+    table: dict[str, dict[str, str]] = defaultdict(dict)
+    columns: list[str] = []
+    for benchmark in report.get("benchmarks", []):
+        family, arg = split_name(benchmark["name"])
+        table[family][arg] = value_of(benchmark)
+        if arg not in columns:
+            columns.append(arg)
+
+    header = ["series"] + columns
+    print("| " + " | ".join(header) + " |")
+    print("|" + "---|" * len(header))
+    for family, cells in table.items():
+        row = [family] + [cells.get(col, "—") for col in columns]
+        print("| " + " | ".join(row) + " |")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
