@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ohpx/capability/capability.hpp"
+#include "ohpx/common/annotations.hpp"
 
 namespace ohpx::cap {
 
@@ -40,8 +41,8 @@ class AuditCapability final : public Capability {
 
   std::size_t max_records_;
   mutable std::mutex mutex_;
-  std::deque<AuditRecord> records_;
-  std::uint64_t total_ = 0;
+  std::deque<AuditRecord> records_ OHPX_GUARDED_BY(mutex_);
+  std::uint64_t total_ OHPX_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ohpx::cap

@@ -51,7 +51,7 @@ std::vector<std::string> split(std::string_view text, char separator) {
 
 std::shared_ptr<DelegationCapability> DelegationCapability::make_root(
     crypto::Key128 root_key) {
-  auto capability = std::shared_ptr<DelegationCapability>(new DelegationCapability());
+  auto capability = std::make_shared<DelegationCapability>(Private{});
   capability->is_verifier_ = true;
   capability->root_key_ = root_key;
   capability->token_ = fold(root_key, {});
@@ -60,7 +60,7 @@ std::shared_ptr<DelegationCapability> DelegationCapability::make_root(
 
 std::shared_ptr<DelegationCapability> DelegationCapability::make_bearer(
     std::vector<std::string> caveats, Bytes token) {
-  auto capability = std::shared_ptr<DelegationCapability>(new DelegationCapability());
+  auto capability = std::make_shared<DelegationCapability>(Private{});
   capability->is_verifier_ = false;
   capability->caveats_ = std::move(caveats);
   capability->token_ = std::move(token);

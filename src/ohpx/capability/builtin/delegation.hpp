@@ -59,8 +59,14 @@ class DelegationCapability final : public Capability {
 
   static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
 
+  /// Passkey: makes the constructor unreachable outside make_root /
+  /// make_bearer while keeping it public for std::make_shared.
+  struct Private {
+    explicit Private() = default;
+  };
+  explicit DelegationCapability(Private) {}
+
  private:
-  DelegationCapability() = default;
 
   /// Fold the MAC chain from the root key over `caveats`.
   static Bytes fold(const crypto::Key128& root_key,

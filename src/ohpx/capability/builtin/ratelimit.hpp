@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "ohpx/capability/capability.hpp"
+#include "ohpx/common/annotations.hpp"
 
 namespace ohpx::cap {
 
@@ -25,13 +26,13 @@ class RateLimitCapability final : public Capability {
   static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
 
  private:
-  void refill_locked();
+  void refill_locked() OHPX_REQUIRES(mutex_);
 
   double rate_per_sec_;
   double burst_;
   mutable std::mutex mutex_;
-  double tokens_;
-  std::chrono::steady_clock::time_point last_refill_;
+  double tokens_ OHPX_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point last_refill_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::cap

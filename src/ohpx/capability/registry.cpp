@@ -42,7 +42,7 @@ void CapabilityRegistry::register_factory(const std::string& kind,
 
 bool CapabilityRegistry::contains(const std::string& kind) const {
   std::lock_guard lock(mutex_);
-  return factories_.count(kind) != 0;
+  return factories_.contains(kind);
 }
 
 std::vector<std::string> CapabilityRegistry::kinds() const {

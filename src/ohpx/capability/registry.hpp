@@ -13,6 +13,7 @@
 
 #include "ohpx/capability/capability.hpp"
 #include "ohpx/capability/chain.hpp"
+#include "ohpx/common/annotations.hpp"
 
 namespace ohpx::cap {
 
@@ -42,7 +43,7 @@ class CapabilityRegistry {
   CapabilityRegistry();
 
   mutable std::mutex mutex_;
-  std::map<std::string, CapabilityFactory> factories_;
+  std::map<std::string, CapabilityFactory> factories_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::cap

@@ -14,13 +14,18 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
     queue_.clear();
   }
   wake_.notify_all();
+  // joinable() flips as threads are joined, so concurrent shutdown callers
+  // must not both walk the vector; the first to arrive does the joining.
+  std::lock_guard join_lock(join_mutex_);
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }

@@ -12,6 +12,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
+
 namespace ohpx {
 
 class ThreadPool {
@@ -28,6 +30,12 @@ class ThreadPool {
 
   /// Enqueues a task; throws Error(internal) after shutdown began.
   void submit(std::function<void()> task);
+
+  /// Begins shutdown and joins all workers: subsequent submits throw,
+  /// queued-but-unstarted tasks are abandoned, tasks already running
+  /// complete.  Idempotent, and safe to race with submit() from other
+  /// threads.  Must not be called from inside a pool task (self-join).
+  void shutdown();
 
   /// Enqueues a callable and returns a future for its result.
   template <typename F>
@@ -52,9 +60,11 @@ class ThreadPool {
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_ OHPX_GUARDED_BY(mutex_);
+  bool stopping_ OHPX_GUARDED_BY(mutex_) = false;
+  std::mutex join_mutex_;  // serializes concurrent shutdown() joiners
+  std::vector<std::thread> workers_;  // laid down in the constructor; only
+                                      // joined (under join_mutex_) after
 };
 
 }  // namespace ohpx

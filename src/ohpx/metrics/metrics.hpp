@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/common/clock.hpp"
 
 namespace ohpx::metrics {
@@ -39,9 +40,9 @@ class LatencyHistogram {
 
  private:
   mutable std::mutex mutex_;
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  Nanoseconds total_{0};
+  std::array<std::uint64_t, kBuckets> buckets_ OHPX_GUARDED_BY(mutex_){};
+  std::uint64_t count_ OHPX_GUARDED_BY(mutex_) = 0;
+  Nanoseconds total_ OHPX_GUARDED_BY(mutex_){0};
 };
 
 struct MetricsSnapshot {
@@ -66,8 +67,9 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::uint64_t> counters_ OHPX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      OHPX_GUARDED_BY(mutex_);
 };
 
 /// Renders a snapshot as an aligned text table (one counter or histogram

@@ -42,7 +42,7 @@ void NameServiceServant::bind(const std::string& name,
                       "cannot bind an invalid reference");
   }
   std::lock_guard lock(mutex_);
-  if (!rebind && entries_.count(name) != 0) {
+  if (!rebind && entries_.contains(name)) {
     throw ObjectError(ErrorCode::bad_object_ref,
                       "name '" + name + "' is already bound");
   }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/ref_builder.hpp"
 #include "ohpx/orb/servant.hpp"
@@ -54,7 +55,7 @@ class NameServiceServant final : public orb::Servant {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, Bytes> entries_;
+  std::map<std::string, Bytes> entries_ OHPX_GUARDED_BY(mutex_);
 };
 
 /// Typed client stub for the directory.

@@ -86,7 +86,7 @@ ParsedTopology parse_topology(std::string_view text) {
     if (directive == "lan") {
       // lan <name> [link-spec] [campus=<n>]
       if (tokens.size() < 2) fail(line_number, "lan needs a name");
-      if (out.lans.count(tokens[1])) {
+      if (out.lans.contains(tokens[1])) {
         fail(line_number, "duplicate LAN '" + tokens[1] + "'");
       }
       const LanId lan = out.topology().add_lan(tokens[1]);
@@ -110,7 +110,7 @@ ParsedTopology parse_topology(std::string_view text) {
     } else if (directive == "machine") {
       // machine <name> <lan>
       if (tokens.size() != 3) fail(line_number, "machine needs <name> <lan>");
-      if (out.machines.count(tokens[1])) {
+      if (out.machines.contains(tokens[1])) {
         fail(line_number, "duplicate machine '" + tokens[1] + "'");
       }
       const auto it = out.lans.find(tokens[2]);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/common/clock.hpp"
 #include "ohpx/common/error.hpp"
 
@@ -115,11 +116,11 @@ class Topology {
   };
 
   mutable std::mutex mutex_;
-  std::vector<Machine> machines_;
-  std::vector<Lan> lans_;
-  std::map<std::pair<LanId, LanId>, LinkSpec> wan_links_;
-  LinkSpec default_wan_;
-  LinkSpec loopback_;
+  std::vector<Machine> machines_ OHPX_GUARDED_BY(mutex_);
+  std::vector<Lan> lans_ OHPX_GUARDED_BY(mutex_);
+  std::map<std::pair<LanId, LanId>, LinkSpec> wan_links_ OHPX_GUARDED_BY(mutex_);
+  LinkSpec default_wan_ OHPX_GUARDED_BY(mutex_);
+  LinkSpec loopback_ OHPX_GUARDED_BY(mutex_);
 };
 
 /// The placement of one client/server pair, consumed by applicability

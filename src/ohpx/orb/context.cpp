@@ -104,7 +104,7 @@ ServantPtr Context::find_servant(ObjectId object_id) const {
 
 bool Context::hosts(ObjectId object_id) const {
   std::lock_guard lock(mutex_);
-  return servants_.count(object_id) != 0;
+  return servants_.contains(object_id);
 }
 
 std::vector<ObjectId> Context::hosted_objects() const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ohpx/capability/chain.hpp"
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/netsim/topology.hpp"
 #include "ohpx/orb/location.hpp"
 #include "ohpx/orb/object_ref.hpp"
@@ -143,8 +144,9 @@ class Context {
   proto::ProtoPool pool_;
 
   mutable std::mutex mutex_;
-  std::map<ObjectId, ServantPtr> servants_;
-  std::map<std::uint32_t, std::shared_ptr<GlueBinding>> glue_bindings_;
+  std::map<ObjectId, ServantPtr> servants_ OHPX_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, std::shared_ptr<GlueBinding>> glue_bindings_
+      OHPX_GUARDED_BY(mutex_);
 
   std::unique_ptr<transport::TcpListener> listener_;
   std::atomic<std::uint64_t> request_counter_{0};

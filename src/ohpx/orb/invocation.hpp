@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/object_ref.hpp"
 #include "ohpx/protocol/protocol.hpp"
@@ -60,7 +61,7 @@ class CallCore {
   std::vector<proto::ProtocolPtr> protocols_;  // built once, reused (keeps
                                                // client capability state)
   mutable std::mutex mutex_;
-  std::string last_protocol_;
+  std::string last_protocol_ OHPX_GUARDED_BY(mutex_);
 };
 
 using CallCorePtr = std::shared_ptr<CallCore>;

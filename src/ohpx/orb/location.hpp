@@ -11,6 +11,7 @@
 #include <mutex>
 #include <optional>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/protocol/target.hpp"
 
 namespace ohpx::orb {
@@ -36,7 +37,7 @@ class LocationService {
 
  private:
   mutable std::mutex mutex_;
-  std::map<ObjectId, proto::ServerAddress> addresses_;
+  std::map<ObjectId, proto::ServerAddress> addresses_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::orb

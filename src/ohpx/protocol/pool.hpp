@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
+
 namespace ohpx::proto {
 
 class ProtoPool {
@@ -42,7 +44,7 @@ class ProtoPool {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<std::string> allowed_;
+  std::vector<std::string> allowed_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::proto

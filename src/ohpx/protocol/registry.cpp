@@ -60,7 +60,7 @@ void ProtocolRegistry::register_factory(const std::string& name,
 
 bool ProtocolRegistry::contains(const std::string& name) const {
   std::lock_guard lock(mutex_);
-  return factories_.count(name) != 0;
+  return factories_.contains(name);
 }
 
 std::vector<std::string> ProtocolRegistry::names() const {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/protocol/entry.hpp"
 #include "ohpx/protocol/protocol.hpp"
 
@@ -40,7 +41,7 @@ class ProtocolRegistry {
   ProtocolRegistry();
 
   mutable std::mutex mutex_;
-  std::map<std::string, ProtocolFactory> factories_;
+  std::map<std::string, ProtocolFactory> factories_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::proto

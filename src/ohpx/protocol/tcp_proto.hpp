@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/protocol/protocol.hpp"
 #include "ohpx/transport/tcp.hpp"
 
@@ -30,7 +31,7 @@ class TcpProtocol final : public Protocol {
   std::mutex mutex_;
   std::map<std::pair<std::string, std::uint16_t>,
            std::shared_ptr<transport::TcpChannel>>
-      channels_;
+      channels_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::proto

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/runtime/world.hpp"
 
 namespace ohpx::runtime {
@@ -54,7 +55,7 @@ class LoadBalancer {
   World& world_;
   BalancerPolicy policy_;
   std::mutex mutex_;
-  std::map<orb::ObjectId, double> tracked_;
+  std::map<orb::ObjectId, double> tracked_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::runtime

@@ -64,7 +64,7 @@ void ServantTypeRegistry::register_type(
 
 bool ServantTypeRegistry::contains(const std::string& type_name) const {
   std::lock_guard lock(mutex_);
-  return factories_.count(type_name) != 0;
+  return factories_.contains(type_name);
 }
 
 orb::ServantPtr ServantTypeRegistry::create(const std::string& type_name) const {

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/context.hpp"
 
 namespace ohpx::runtime {
@@ -51,7 +52,8 @@ class ServantTypeRegistry {
  private:
   ServantTypeRegistry() = default;
   mutable std::mutex mutex_;
-  std::map<std::string, std::function<orb::ServantPtr()>> factories_;
+  std::map<std::string, std::function<orb::ServantPtr()>> factories_
+      OHPX_GUARDED_BY(mutex_);
 };
 
 /// Moves the live servant instance from `from` to `to`.

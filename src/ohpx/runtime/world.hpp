@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/netsim/topology.hpp"
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/location.hpp"
@@ -52,7 +53,7 @@ class World {
   netsim::Topology topology_;
   orb::LocationService location_;
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<orb::Context>> contexts_;
+  std::vector<std::unique_ptr<orb::Context>> contexts_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::runtime

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/orb/stub.hpp"
@@ -35,7 +36,7 @@ class CounterServant final : public orb::Servant {
 
  private:
   mutable std::mutex mutex_;
-  std::int64_t value_ = 0;
+  std::int64_t value_ OHPX_GUARDED_BY(mutex_) = 0;
 };
 
 class CounterStub : public orb::ObjectStub {

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/orb/stub.hpp"
@@ -56,10 +57,10 @@ class HeatSimServant final : public orb::Servant {
   }
 
   mutable std::mutex mutex_;
-  std::uint32_t rows_ = 0;
-  std::uint32_t cols_ = 0;
-  std::vector<double> grid_;
-  std::vector<double> scratch_;
+  std::uint32_t rows_ OHPX_GUARDED_BY(mutex_) = 0;
+  std::uint32_t cols_ OHPX_GUARDED_BY(mutex_) = 0;
+  std::vector<double> grid_ OHPX_GUARDED_BY(mutex_);
+  std::vector<double> scratch_ OHPX_GUARDED_BY(mutex_);
 };
 
 class HeatSimStub : public orb::ObjectStub {

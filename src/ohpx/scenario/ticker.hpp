@@ -14,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/servant.hpp"
@@ -39,7 +40,7 @@ class TickListenerServant final : public orb::Servant {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<std::int32_t> received_;
+  std::vector<std::int32_t> received_ OHPX_GUARDED_BY(mutex_);
 };
 
 class TickListenerStub : public orb::ObjectStub {
@@ -82,8 +83,8 @@ class TickerServant final : public orb::Servant {
  private:
   orb::Context& home_;
   mutable std::mutex mutex_;
-  std::uint32_t next_token_ = 1;
-  std::map<std::uint32_t, orb::ObjectRef> subscribers_;
+  std::uint32_t next_token_ OHPX_GUARDED_BY(mutex_) = 1;
+  std::map<std::uint32_t, orb::ObjectRef> subscribers_ OHPX_GUARDED_BY(mutex_);
 };
 
 class TickerStub : public orb::ObjectStub {

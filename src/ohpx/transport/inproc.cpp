@@ -33,7 +33,7 @@ FrameHandler EndpointRegistry::lookup(const std::string& name) const {
 
 bool EndpointRegistry::contains(const std::string& name) const {
   std::lock_guard lock(mutex_);
-  return handlers_.count(name) != 0;
+  return handlers_.contains(name);
 }
 
 std::size_t EndpointRegistry::size() const {

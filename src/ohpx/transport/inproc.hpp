@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/transport/channel.hpp"
 
 namespace ohpx::transport {
@@ -39,7 +40,7 @@ class EndpointRegistry {
   EndpointRegistry() = default;
 
   mutable std::mutex mutex_;
-  std::map<std::string, FrameHandler> handlers_;
+  std::map<std::string, FrameHandler> handlers_ OHPX_GUARDED_BY(mutex_);
 };
 
 /// Channel that synchronously invokes an endpoint's handler.  The handler

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -130,6 +131,7 @@ void TcpListener::stop() {
   {
     std::lock_guard lock(workers_mutex_);
     workers.swap(workers_);
+    finished_.clear();
     // Unblock workers parked in recv() on live connections; they observe
     // EOF, clean up their fd and exit.
     for (int fd : open_connections_) {
@@ -153,9 +155,27 @@ void TcpListener::accept_loop() {
       ::close(fd);
       break;
     }
+    reap_finished_locked();
     open_connections_.insert(fd);
     workers_.emplace_back([this, fd] { serve_connection(fd); });
   }
+}
+
+// Joins workers whose connections have ended so a long-lived listener does
+// not accumulate one joinable-but-finished thread per past connection.
+// Joining under the lock is safe: a thread registers in finished_ as its
+// last lock-holding act, so the join only waits for its final returns.
+void TcpListener::reap_finished_locked() {
+  for (const std::thread::id id : finished_) {
+    const auto it =
+        std::find_if(workers_.begin(), workers_.end(),
+                     [id](const std::thread& t) { return t.get_id() == id; });
+    if (it != workers_.end()) {
+      it->join();
+      workers_.erase(it);
+    }
+  }
+  finished_.clear();
 }
 
 void TcpListener::serve_connection(int fd) {
@@ -175,6 +195,7 @@ void TcpListener::serve_connection(int fd) {
   {
     std::lock_guard lock(workers_mutex_);
     open_connections_.erase(fd);
+    finished_.push_back(std::this_thread::get_id());
   }
   ::close(fd);
 }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/transport/channel.hpp"
 
 namespace ohpx::transport {
@@ -36,6 +37,7 @@ class TcpListener {
  private:
   void accept_loop();
   void serve_connection(int fd);
+  void reap_finished_locked() OHPX_REQUIRES(workers_mutex_);
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -43,8 +45,9 @@ class TcpListener {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  std::set<int> open_connections_;  // guarded by workers_mutex_
+  std::vector<std::thread> workers_ OHPX_GUARDED_BY(workers_mutex_);
+  std::set<int> open_connections_ OHPX_GUARDED_BY(workers_mutex_);
+  std::vector<std::thread::id> finished_ OHPX_GUARDED_BY(workers_mutex_);
 };
 
 /// Connecting side: one persistent connection, one in-flight request at a

@@ -9,7 +9,9 @@
 #include "ohpx/capability/builtin/authentication.hpp"
 #include "ohpx/capability/builtin/checksum.hpp"
 #include "ohpx/capability/builtin/compression.hpp"
+#include "ohpx/capability/builtin/delegation.hpp"
 #include "ohpx/capability/builtin/encryption.hpp"
+#include "ohpx/capability/builtin/fault.hpp"
 #include "ohpx/capability/builtin/lease.hpp"
 #include "ohpx/capability/builtin/padding.hpp"
 #include "ohpx/capability/builtin/quota.hpp"
@@ -74,6 +76,62 @@ TEST(Identity, EmptyPayloadRoundTrips) {
     capability->process(payload, call);
     capability->unprocess(payload, call);
     EXPECT_TRUE(payload.empty()) << capability->kind();
+  }
+}
+
+// Property: for EVERY builtin kind, unprocess(process(msg)) == msg over
+// random payloads — the runtime half of the symmetry contract that
+// tools/ohpx_lint.py's cap-pairs check enforces syntactically.  Payload
+// sizes sweep 0..~4KiB with arbitrary bytes, and each call uses a fresh
+// request id so nonce-dependent transforms (encryption) are exercised
+// across their seed space.
+TEST(Identity, EveryBuiltinRoundTripsRandomPayloads) {
+  Xoshiro256 rng(0x0badcafe);
+  // Pass-through builtins (admission-only or recording-only) participate
+  // too: identity must hold even though they do not transform bytes.
+  std::vector<CapabilityPtr> capabilities = transforming_capabilities();
+  capabilities.push_back(std::make_shared<QuotaCapability>(1u << 30));
+  capabilities.push_back(std::make_shared<RateLimitCapability>(1e9, 1e9));
+  capabilities.push_back(std::make_shared<LeaseCapability>(
+      std::chrono::milliseconds(1 << 30)));
+  capabilities.push_back(std::make_shared<FaultCapability>(1u << 30));
+
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    const std::size_t size = static_cast<std::size_t>(
+        rng.next_below(4096 + 1));
+    Bytes original(size);
+    for (auto& byte : original) {
+      byte = static_cast<std::uint8_t>(rng.next());
+    }
+    const auto call = make_call(1000 + static_cast<std::uint64_t>(iteration));
+    for (const auto& capability : capabilities) {
+      wire::Buffer payload{original};
+      capability->process(payload, call);
+      capability->unprocess(payload, call);
+      EXPECT_EQ(payload.bytes(), original)
+          << capability->kind() << " iteration " << iteration
+          << " size " << size;
+    }
+  }
+}
+
+// Delegation transforms asymmetrically — the bearer stamps, the verifier
+// strips — so its identity property runs over the bearer/verifier pair.
+TEST(Identity, DelegationPairRoundTripsRandomPayloads) {
+  Xoshiro256 rng(0x5eed5);
+  auto verifier = DelegationCapability::make_root(test_key());
+  auto bearer = DelegationCapability::from_descriptor(verifier->descriptor());
+  for (int iteration = 0; iteration < 32; ++iteration) {
+    const std::size_t size = static_cast<std::size_t>(rng.next_below(2048 + 1));
+    Bytes original(size);
+    for (auto& byte : original) {
+      byte = static_cast<std::uint8_t>(rng.next());
+    }
+    const auto call = make_call(5000 + static_cast<std::uint64_t>(iteration));
+    wire::Buffer payload{original};
+    bearer->process(payload, call);
+    verifier->unprocess(payload, call);
+    EXPECT_EQ(payload.bytes(), original) << "iteration " << iteration;
   }
 }
 

@@ -57,6 +57,11 @@ SeriesSet measure(Figure5World& world, std::size_t elements) {
 }
 
 TEST(Figure5Shape, AtmReproducesPaperClaims) {
+#if defined(OHPX_SANITIZED_BUILD)
+  // Instrumentation slows the real-CPU half of the cost model 2-10x,
+  // wrecking the real-vs-modeled ratios these shape claims assert on.
+  GTEST_SKIP() << "timing-shape assertions are unreliable under sanitizers";
+#endif
   Figure5World world(netsim::atm_155());
 
   const SeriesSet large = measure(world, 1 << 20);
@@ -85,6 +90,9 @@ TEST(Figure5Shape, AtmReproducesPaperClaims) {
 }
 
 TEST(Figure5Shape, EthernetVirtuallyIdenticalShape) {
+#if defined(OHPX_SANITIZED_BUILD)
+  GTEST_SKIP() << "timing-shape assertions are unreliable under sanitizers";
+#endif
   Figure5World world(netsim::fast_ethernet_100());
 
   const SeriesSet large = measure(world, 1 << 20);

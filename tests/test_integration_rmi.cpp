@@ -250,8 +250,12 @@ TEST(Figure4, ModeledCostsRankProtocolsAsInPaper) {
   gp->echo_with_cost(on_shm, values);
 
   // Network time dominates; shm must be at least 10x faster (the paper's
-  // "more than an order of magnitude").
+  // "more than an order of magnitude").  The ratio holds only when real
+  // CPU time is not inflated by sanitizer instrumentation; the modeled-
+  // time invariants below hold regardless.
+#if !defined(OHPX_SANITIZED_BUILD)
   EXPECT_GT(on_wan.total_seconds(), 10 * on_shm.total_seconds());
+#endif
   EXPECT_GT(on_wan.modeled().count(), 0);
   EXPECT_EQ(on_shm.modeled().count(), 0);
 }

@@ -89,15 +89,24 @@ std::string grid_case_name(const ::testing::TestParamInfo<GridCase>& info) {
 }
 
 class EchoGrid : public ::testing::TestWithParam<GridCase> {
+ public:
+  // Owned via a slot (not a destructor-run static) so teardown happens
+  // inside main(), where the contexts can still safely reach the
+  // function-local singletons their destructors use.
+  static runtime::World*& world_slot() {
+    static runtime::World* w = nullptr;
+    return w;
+  }
+
  protected:
   static runtime::World& world() {
-    static runtime::World* w = [] {
-      auto* world = new runtime::World();
-      const auto lan = world->add_lan("lan");
-      machine_a() = world->add_machine("a", lan);
-      machine_b() = world->add_machine("b", lan);
-      return world;
-    }();
+    auto*& w = world_slot();
+    if (w == nullptr) {
+      w = new runtime::World();
+      const auto lan = w->add_lan("lan");
+      machine_a() = w->add_machine("a", lan);
+      machine_b() = w->add_machine("b", lan);
+    }
     return *w;
   }
   static netsim::MachineId& machine_a() {
@@ -109,6 +118,18 @@ class EchoGrid : public ::testing::TestWithParam<GridCase> {
     return m;
   }
 };
+
+// Destroys the shared world after the last test so the TCP listeners join
+// their connection threads; TSan reports them as leaked otherwise.
+class WorldTeardown : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    delete EchoGrid::world_slot();
+    EchoGrid::world_slot() = nullptr;
+  }
+};
+[[maybe_unused]] const auto* const kWorldTeardown =
+    ::testing::AddGlobalTestEnvironment(new WorldTeardown);
 
 TEST_P(EchoGrid, RoundTripsExactly) {
   const auto param = GetParam();

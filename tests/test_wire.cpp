@@ -258,6 +258,80 @@ TEST(Crc, IncrementalMatchesOneShot) {
   EXPECT_EQ(crc.value(), crc32(data));
 }
 
+// ---- sanitizer-hardening round trips ----------------------------------------
+// Probes chosen for UBSan/ASan instrumented runs (docs/static_analysis.md):
+// misaligned multi-byte reads, shift/conversion edge values, length
+// arithmetic at the u32 boundary.  They must of course also pass plain.
+
+TEST(RoundTrip, IntegerExtremesAtEveryMisalignment) {
+  // Pad by 1..7 bytes so every multi-byte value sits at every possible
+  // misaligned offset; a decoder shortcut that reinterpreted memory
+  // instead of assembling bytes would trip UBSan's alignment check.
+  for (std::size_t pad = 1; pad <= 7; ++pad) {
+    Buffer buf;
+    Encoder enc(buf);
+    for (std::size_t i = 0; i < pad; ++i) enc.put_u8(0xa5);
+    enc.put_i64(std::numeric_limits<std::int64_t>::min());
+    enc.put_i64(std::numeric_limits<std::int64_t>::max());
+    enc.put_u64(~0ull);
+    enc.put_i32(std::numeric_limits<std::int32_t>::min());
+    enc.put_i16(std::numeric_limits<std::int16_t>::min());
+    enc.put_u16(0xffffu);
+    enc.put_f64(-std::numeric_limits<double>::denorm_min());
+    enc.put_f32(std::numeric_limits<float>::denorm_min());
+
+    Decoder dec(buf.view());
+    for (std::size_t i = 0; i < pad; ++i) EXPECT_EQ(dec.get_u8(), 0xa5);
+    EXPECT_EQ(dec.get_i64(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(dec.get_i64(), std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(dec.get_u64(), ~0ull);
+    EXPECT_EQ(dec.get_i32(), std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(dec.get_i16(), std::numeric_limits<std::int16_t>::min());
+    EXPECT_EQ(dec.get_u16(), 0xffffu);
+    EXPECT_EQ(dec.get_f64(), -std::numeric_limits<double>::denorm_min());
+    EXPECT_EQ(dec.get_f32(), std::numeric_limits<float>::denorm_min());
+    EXPECT_NO_THROW(dec.expect_end());
+  }
+}
+
+TEST(Decoder, EmptyViewFailsClosed) {
+  Decoder dec(BytesView{});
+  EXPECT_TRUE(dec.at_end());
+  EXPECT_EQ(dec.remaining(), 0u);
+  EXPECT_THROW(dec.get_u8(), WireError);
+  EXPECT_THROW(dec.get_u64(), WireError);
+  EXPECT_THROW(dec.get_bytes(), WireError);
+  EXPECT_THROW(dec.get_raw(1), WireError);
+  EXPECT_NO_THROW(dec.expect_end());
+}
+
+TEST(Decoder, LengthPrefixNearU32MaxRejectedWithoutOverflow) {
+  // pos_ + 0xffffffff would wrap a 32-bit accumulator; the bounds check
+  // must compare against the remaining bytes, not the wrapped sum.
+  for (const std::uint32_t hostile :
+       {0xffffffffu, 0xfffffffeu, 0x80000000u}) {
+    Buffer buf;
+    Encoder enc(buf);
+    enc.put_u32(hostile);
+    enc.put_u8(0x00);  // one byte of "payload", far short of the claim
+    Decoder dec(buf.view());
+    EXPECT_THROW(dec.get_bytes(), WireError);
+  }
+}
+
+TEST(Crc, SplitAtEveryOffsetMatchesOneShot) {
+  Bytes data(37);
+  Xoshiro256 rng(0x5eed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint32_t whole = crc32(BytesView(data));
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32 crc;
+    crc.update(BytesView(data.data(), split));
+    crc.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(crc.value(), whole) << "split at " << split;
+  }
+}
+
 // ---- frames ------------------------------------------------------------------
 
 MessageHeader sample_header() {

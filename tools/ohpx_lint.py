@@ -1,0 +1,415 @@
+#!/usr/bin/env python3
+"""ohpx-lint: repo-specific invariant checks the compiler cannot enforce.
+
+Checks (each also exercised by --self-test):
+
+  pragma-once        every header under src/ starts its include guard with
+                     `#pragma once`
+  no-stdio           no std::cout / std::cerr / printf-family calls in src/
+                     (the logging sink src/ohpx/common/log.cpp is the one
+                     documented exemption — everything else goes through
+                     ohpx::log)
+  no-naked-new       no naked `new` / `delete` expressions in src/ (use
+                     std::make_shared / std::make_unique / containers);
+                     `= delete` declarations are fine
+  cmake-lists        every .cpp under src/ is listed in its directory's
+                     CMakeLists.txt (an unlisted file silently never builds)
+  cap-pairs          every builtin capability header declares both
+                     `process` and `unprocess` overrides, and its .cpp
+                     defines both — the paper's §4 symmetry contract
+  chain-contract     CapabilityChain::process_inbound unprocesses in
+                     *reverse* order (rbegin/rend) while process_outbound
+                     runs forward — the chain composes like function
+                     application, so inbound must peel in reverse
+
+Usage:
+  python3 tools/ohpx_lint.py [--root REPO_ROOT]   # lint the repo, exit 0/1
+  python3 tools/ohpx_lint.py --self-test          # verify the linter itself
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Good enough for lint heuristics: handles //, /* */, "..." with escapes,
+    '...' with escapes, and raw strings R"(...)" with empty delimiters as
+    used in this repo.  Replaced characters become spaces so line/column
+    positions survive.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            segment = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in segment))
+            i = j + 2
+        elif c == "R" and text[i : i + 3] == 'R"(':
+            j = text.find(')"', i + 3)
+            j = n - 2 if j == -1 else j
+            segment = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in segment))
+            i = j + 2
+        elif c in ('"', "'"):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (min(j, n - 1) + 1 - i))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.src = root / "src"
+        self.violations: list[str] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        try:
+            shown = path.relative_to(self.root)
+        except ValueError:
+            shown = path
+        self.violations.append(f"{shown}:{line}: [{rule}] {message}")
+
+    # -- individual checks --------------------------------------------------
+
+    def check_pragma_once(self) -> None:
+        for header in sorted(self.src.rglob("*.hpp")):
+            text = header.read_text(encoding="utf-8", errors="replace")
+            if "#pragma once" not in text:
+                self.report(header, 1, "pragma-once",
+                            "header lacks `#pragma once`")
+
+    STDIO_RE = re.compile(
+        r"std\s*::\s*(cout|cerr)\b|(?<![\w:])(?:f|s|v|vf|vs)?printf\s*\(")
+    STDIO_EXEMPT = ("ohpx/common/log.cpp",)  # the logger's own sink
+
+    def check_no_stdio(self) -> None:
+        for source in sorted(self.src.rglob("*.[ch]pp")):
+            rel = source.relative_to(self.src).as_posix()
+            if rel in self.STDIO_EXEMPT:
+                continue
+            clean = strip_comments_and_strings(
+                source.read_text(encoding="utf-8", errors="replace"))
+            for lineno, line in enumerate(clean.splitlines(), 1):
+                if self.STDIO_RE.search(line):
+                    self.report(source, lineno, "no-stdio",
+                                "direct stdio in src/ — use ohpx::log")
+
+    NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:]")
+    DELETE_RE = re.compile(r"(?<![\w.])delete\b(\s*\[\s*\])?")
+
+    def check_no_naked_new(self) -> None:
+        for source in sorted(self.src.rglob("*.[ch]pp")):
+            clean = strip_comments_and_strings(
+                source.read_text(encoding="utf-8", errors="replace"))
+            # `= delete` / `= delete;` declarations are not delete-exprs.
+            clean = re.sub(r"=\s*delete\b", "", clean)
+            for lineno, line in enumerate(clean.splitlines(), 1):
+                if self.NEW_RE.search(line):
+                    self.report(source, lineno, "no-naked-new",
+                                "naked `new` — use make_shared/make_unique")
+                if self.DELETE_RE.search(line):
+                    self.report(source, lineno, "no-naked-new",
+                                "naked `delete` — owning types manage memory")
+
+    def check_cmake_lists(self) -> None:
+        for source in sorted(self.src.rglob("*.cpp")):
+            directory = source.parent
+            # Walk up to the nearest CMakeLists.txt at or above the file.
+            listfile = None
+            probe = directory
+            while probe >= self.src.parent:
+                candidate = probe / "CMakeLists.txt"
+                if candidate.exists():
+                    listfile = candidate
+                    break
+                probe = probe.parent
+            if listfile is None:
+                self.report(source, 1, "cmake-lists",
+                            "no CMakeLists.txt found above file")
+                continue
+            rel = source.relative_to(listfile.parent).as_posix()
+            text = listfile.read_text(encoding="utf-8", errors="replace")
+            if not re.search(r"(?<![\w/])" + re.escape(rel) + r"(?![\w.])", text):
+                self.report(source, 1, "cmake-lists",
+                            f"not listed in {listfile.relative_to(self.root)}"
+                            " — it never builds")
+
+    def check_cap_pairs(self) -> None:
+        builtin = self.src / "ohpx" / "capability" / "builtin"
+        if not builtin.is_dir():
+            return
+        for header in sorted(builtin.glob("*.hpp")):
+            text = strip_comments_and_strings(
+                header.read_text(encoding="utf-8", errors="replace"))
+            has_process = re.search(r"\bprocess\s*\(", text)
+            has_unprocess = re.search(r"\bunprocess\s*\(", text)
+            if not (has_process and has_unprocess):
+                missing = "process" if not has_process else "unprocess"
+                self.report(header, 1, "cap-pairs",
+                            f"builtin capability lacks a `{missing}` override"
+                            " — the §4 symmetry contract requires the pair")
+            impl = header.with_suffix(".cpp")
+            if not impl.exists():
+                self.report(header, 1, "cap-pairs",
+                            "builtin capability has no matching .cpp")
+                continue
+            impl_text = strip_comments_and_strings(
+                impl.read_text(encoding="utf-8", errors="replace"))
+            for member in ("process", "unprocess"):
+                if not re.search(r"::\s*" + member + r"\s*\(", impl_text):
+                    self.report(impl, 1, "cap-pairs",
+                                f"does not define `{member}` — every builtin"
+                                " defines the process/unprocess pair")
+
+    def _function_body(self, text: str, marker: str) -> str:
+        """Extracts the brace-balanced body following `marker`, or ''. """
+        start = text.find(marker)
+        if start == -1:
+            return ""
+        brace = text.find("{", start)
+        if brace == -1:
+            return ""
+        depth, i = 0, brace
+        while i < len(text):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return text[brace : i + 1]
+            i += 1
+        return text[brace:]
+
+    def check_chain_contract(self) -> None:
+        chain = self.src / "ohpx" / "capability" / "chain.cpp"
+        if not chain.exists():
+            self.report(chain, 1, "chain-contract", "chain.cpp missing")
+            return
+        text = strip_comments_and_strings(
+            chain.read_text(encoding="utf-8", errors="replace"))
+        outbound = self._function_body(text, "CapabilityChain::process_outbound")
+        inbound = self._function_body(text, "CapabilityChain::process_inbound")
+        if not outbound or "process(" not in outbound:
+            self.report(chain, 1, "chain-contract",
+                        "process_outbound must run capability->process() "
+                        "front-to-back")
+        elif "rbegin" in outbound:
+            self.report(chain, 1, "chain-contract",
+                        "process_outbound must iterate forward, not reversed")
+        if not inbound or "unprocess(" not in inbound:
+            self.report(chain, 1, "chain-contract",
+                        "process_inbound must run capability->unprocess()")
+        elif "rbegin" not in inbound:
+            self.report(chain, 1, "chain-contract",
+                        "process_inbound must unprocess in reverse "
+                        "(rbegin/rend) — the chain composes like function "
+                        "application")
+
+    # -- driver -------------------------------------------------------------
+
+    CHECKS = ("pragma_once", "no_stdio", "no_naked_new", "cmake_lists",
+              "cap_pairs", "chain_contract")
+
+    def run(self) -> int:
+        for check in self.CHECKS:
+            getattr(self, f"check_{check}")()
+        for violation in self.violations:
+            print(violation)
+        if self.violations:
+            print(f"ohpx-lint: {len(self.violations)} violation(s)")
+            return 1
+        print(f"ohpx-lint: OK ({len(self.CHECKS)} checks clean)")
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# self-test: build throwaway trees with injected violations and confirm the
+# linter flags each one (and stays quiet on a clean tree).
+
+CLEAN_HEADER = """\
+#pragma once
+namespace ohpx { int answer(); }
+"""
+
+CLEAN_SOURCE = """\
+#include "clean.hpp"
+// a comment that says new things and printf-like words is fine
+namespace ohpx { int answer() { return 42; } }
+"""
+
+CLEAN_CHAIN = """\
+#include "ohpx/capability/chain.hpp"
+void CapabilityChain::process_outbound(B& b, const C& c) {
+  for (const auto& capability : capabilities_) capability->process(b, c);
+}
+void CapabilityChain::process_inbound(B& b, const C& c) {
+  for (auto it = capabilities_.rbegin(); it != capabilities_.rend(); ++it)
+    (*it)->unprocess(b, c);
+}
+"""
+
+CLEAN_CAP_HPP = """\
+#pragma once
+class DemoCapability {
+ public:
+  void process(Buffer& b, const CallContext& c);
+  void unprocess(Buffer& b, const CallContext& c);
+};
+"""
+
+CLEAN_CAP_CPP = """\
+#include "demo.hpp"
+void DemoCapability::process(Buffer& b, const CallContext& c) {}
+void DemoCapability::unprocess(Buffer& b, const CallContext& c) {}
+"""
+
+
+def _make_tree(tmp: Path) -> Path:
+    """Builds a minimal clean repo the linter accepts."""
+    root = tmp
+    src = root / "src"
+    builtin = src / "ohpx" / "capability" / "builtin"
+    builtin.mkdir(parents=True)
+    (src / "clean.hpp").write_text(CLEAN_HEADER)
+    (src / "clean.cpp").write_text(CLEAN_SOURCE)
+    (src / "CMakeLists.txt").write_text("add_library(x clean.cpp)\n")
+    chain_dir = src / "ohpx" / "capability"
+    (chain_dir / "chain.cpp").write_text(CLEAN_CHAIN)
+    (chain_dir / "CMakeLists.txt").write_text(
+        "add_library(cap chain.cpp builtin/demo.cpp)\n")
+    (builtin / "demo.hpp").write_text(CLEAN_CAP_HPP)
+    (builtin / "demo.cpp").write_text(CLEAN_CAP_CPP)
+    return root
+
+
+def _lint_collect(root: Path) -> list[str]:
+    linter = Linter(root)
+    for check in Linter.CHECKS:
+        getattr(linter, f"check_{check}")()
+    return linter.violations
+
+
+def self_test() -> int:
+    failures: list[str] = []
+
+    def expect(condition: bool, label: str) -> None:
+        if not condition:
+            failures.append(label)
+
+    # 1. A clean tree produces zero violations.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = _make_tree(Path(tmp))
+        violations = _lint_collect(root)
+        expect(not violations, f"clean tree flagged: {violations}")
+
+    injections = [
+        ("pragma-once",
+         lambda r: (r / "src" / "bad.hpp").write_text("int x;\n")),
+        ("no-stdio",
+         lambda r: (r / "src" / "clean.cpp").write_text(
+             '#include <cstdio>\nvoid f() { printf("hi"); }\n')),
+        ("no-stdio",
+         lambda r: (r / "src" / "clean.cpp").write_text(
+             "#include <iostream>\nvoid f() { std::cout << 1; }\n")),
+        ("no-naked-new",
+         lambda r: (r / "src" / "clean.cpp").write_text(
+             "void f() { int* p = new int(3); delete p; }\n")),
+        ("cmake-lists",
+         lambda r: (r / "src" / "orphan.cpp").write_text("int y;\n")),
+        ("cap-pairs",
+         lambda r: (r / "src" / "ohpx" / "capability" / "builtin" /
+                    "demo.hpp").write_text(
+             "#pragma once\nclass DemoCapability {\n public:\n"
+             "  void process(Buffer& b, const CallContext& c);\n};\n")),
+        ("cap-pairs",
+         lambda r: (r / "src" / "ohpx" / "capability" / "builtin" /
+                    "demo.cpp").write_text(
+             "#include \"demo.hpp\"\n"
+             "void DemoCapability::process(Buffer& b, const CallContext& c)"
+             " {}\n")),
+        ("chain-contract",
+         lambda r: (r / "src" / "ohpx" / "capability" / "chain.cpp")
+         .write_text(CLEAN_CHAIN.replace(
+             "for (auto it = capabilities_.rbegin(); "
+             "it != capabilities_.rend(); ++it)\n    (*it)->unprocess(b, c);",
+             "for (const auto& capability : capabilities_) "
+             "capability->unprocess(b, c);"))),
+    ]
+
+    # 2. Each injected violation is caught under the right rule.
+    for rule, inject in injections:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = _make_tree(Path(tmp))
+            inject(root)
+            violations = _lint_collect(root)
+            expect(any(f"[{rule}]" in v for v in violations),
+                   f"injected {rule} violation not caught "
+                   f"(got: {violations})")
+
+    # 3. False-positive guards: comments/strings/deleted functions pass.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = _make_tree(Path(tmp))
+        (root / "src" / "clean.cpp").write_text(
+            '#include "clean.hpp"\n'
+            "// registering under a new name; delete old entries\n"
+            '/* new delete printf std::cout */\n'
+            'const char* kDoc = "use new printf std::cout delete";\n'
+            "struct NoCopy { NoCopy(const NoCopy&) = delete; };\n")
+        violations = _lint_collect(root)
+        expect(not violations,
+               f"comment/string/=delete false positive: {violations}")
+
+    if failures:
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}")
+        return 1
+    print(f"ohpx-lint self-test: OK "
+          f"({1 + len(injections) + 1} fixtures verified)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the repo containing "
+                             "this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter catches injected violations")
+    options = parser.parse_args()
+    if options.self_test:
+        return self_test()
+    if not (options.root / "src").is_dir():
+        print(f"ohpx-lint: no src/ under {options.root}", file=sys.stderr)
+        return 2
+    return Linter(options.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
