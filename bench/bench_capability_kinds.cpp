@@ -4,6 +4,8 @@
 // charges per call.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "ohpx/capability/builtin/authentication.hpp"
 #include "ohpx/capability/builtin/checksum.hpp"
 #include "ohpx/capability/builtin/compression.hpp"
@@ -96,4 +98,4 @@ BENCHMARK(Cap_CompressLzRandom)->Range(1 << 10, 1 << 20);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

@@ -78,4 +78,4 @@ BENCHMARK(CapabilityOverhead)
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

@@ -112,4 +112,4 @@ BENCHMARK(Xover_Compressed)->Apply(configure);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

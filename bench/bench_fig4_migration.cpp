@@ -52,4 +52,4 @@ BENCHMARK(Fig4_Stage7_M0)->Apply(configure);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

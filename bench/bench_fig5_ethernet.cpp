@@ -45,4 +45,4 @@ BENCHMARK(Fig5Eth_SharedMemory)->Apply(configure);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

@@ -119,4 +119,4 @@ BENCHMARK(Heat_FetchMap)
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

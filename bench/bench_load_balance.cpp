@@ -93,4 +93,4 @@ BENCHMARK(LB_AfterRebalance)->Apply(configure);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

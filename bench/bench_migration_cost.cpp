@@ -96,4 +96,4 @@ BENCHMARK(Migrate_FirstCallAfterMove);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

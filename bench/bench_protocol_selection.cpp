@@ -84,4 +84,4 @@ BENCHMARK(SelectionWithResolve)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Arg(15);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

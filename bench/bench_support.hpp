@@ -14,6 +14,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ohpx/scenario/figure5.hpp"
@@ -56,6 +61,90 @@ inline void run_echo_series(benchmark::State& state,
                       (total_seconds * 1e6);
   state.counters["Mbps"] = mbps;
   state.counters["bytes"] = bytes_per_iter / 2.0;  // one-way payload size
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission.  Every bench binary accepts `--json <path>` in addition to
+// the usual --benchmark_* flags; google-benchmark mains route it through
+// bench_main() below, hand-rolled mains (bench_invoke_fastpath) write their
+// records with write_json_records().  Both produce a top-level
+// {"benchmarks": [...]} array so downstream tooling reads either shape.
+// ---------------------------------------------------------------------------
+
+/// Strips a `--json <path>` (or `--json=<path>`) flag from argv.
+/// Returns the path, or "" when the flag is absent.
+inline std::string consume_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+/// One result row for hand-rolled bench mains: a name plus flat numeric
+/// metrics (times in ns, rates in calls/s — whatever the bench reports).
+struct JsonRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Writes `records` to `path` as {"benchmarks": [{"name": ..., <metric>:
+/// <value>, ...}, ...]}.  Non-finite values are emitted as 0 (JSON has no
+/// inf/nan).  Returns false when the file cannot be opened.
+inline bool write_json_records(const std::string& path,
+                               const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << "    {\n      \"name\": \"" << records[i].name << "\"";
+    for (const auto& [key, value] : records[i].metrics) {
+      char formatted[64];
+      std::snprintf(formatted, sizeof(formatted), "%.6g",
+                    std::isfinite(value) ? value : 0.0);
+      out << ",\n      \"" << key << "\": " << formatted;
+    }
+    out << "\n    }" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+/// Shared main() for the google-benchmark benches: `--json <path>` tees the
+/// run into a JSON file while the console report stays on stdout.  The flag
+/// is translated into google-benchmark's own --benchmark_out pair rather
+/// than a hand-constructed file reporter: passing a reporter without
+/// --benchmark_out is rejected by the library (1.7 errors out), while the
+/// flag form works across versions.
+inline int bench_main(int argc, char** argv) {
+  const std::string json_path = consume_json_flag(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace ohpx::bench

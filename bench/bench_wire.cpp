@@ -3,6 +3,8 @@
 // paper's "no extra data copying" design point (§3.2).
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include <map>
 #include <string>
 
@@ -86,4 +88,4 @@ BENCHMARK(FrameEncodeDecode)->Range(64, 1 << 20);
 }  // namespace
 }  // namespace ohpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ohpx::bench::bench_main(argc, argv); }

@@ -37,6 +37,13 @@ class Stopwatch {
 /// Per-invocation cost accumulator: real CPU time plus modeled link time.
 class CostLedger {
  public:
+  /// Pay-when-used profiling: with real timing disabled every
+  /// ScopedRealTime scope over this ledger skips its clock reads entirely
+  /// (two syscalls-worth per scope on the invocation hot path).  Modeled
+  /// costs and byte counts still accumulate.
+  void disable_real_timing() noexcept { real_timing_ = false; }
+  bool real_timing_enabled() const noexcept { return real_timing_; }
+
   void add_real(Nanoseconds d) noexcept { real_ += d; }
   void add_modeled(Nanoseconds d) noexcept { modeled_ += d; }
   void add_bytes_sent(std::uint64_t n) noexcept { bytes_sent_ += n; }
@@ -66,19 +73,34 @@ class CostLedger {
   Nanoseconds modeled_{0};
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
+  bool real_timing_ = true;
 };
 
 /// RAII helper: adds the scope's wall time to a ledger's real component.
+/// A scope over a null ledger, or over one with real timing disabled, is
+/// disarmed: it never touches the clock.
 class ScopedRealTime {
  public:
-  explicit ScopedRealTime(CostLedger& ledger) : ledger_(ledger) {}
+  explicit ScopedRealTime(CostLedger& ledger)
+      : ScopedRealTime(&ledger) {}
+  explicit ScopedRealTime(CostLedger* ledger)
+      : ledger_(ledger),
+        armed_(ledger != nullptr && ledger->real_timing_enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
   ScopedRealTime(const ScopedRealTime&) = delete;
   ScopedRealTime& operator=(const ScopedRealTime&) = delete;
-  ~ScopedRealTime() { ledger_.add_real(watch_.elapsed()); }
+  ~ScopedRealTime() {
+    if (armed_) {
+      ledger_->add_real(std::chrono::duration_cast<Nanoseconds>(
+          std::chrono::steady_clock::now() - start_));
+    }
+  }
 
  private:
-  CostLedger& ledger_;
-  Stopwatch watch_;
+  CostLedger* ledger_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace ohpx

@@ -1,8 +1,8 @@
 #include "ohpx/metrics/metrics.hpp"
 
+#include <iomanip>
 #include <memory>
 #include <sstream>
-#include <iomanip>
 
 namespace ohpx::metrics {
 namespace {
@@ -21,38 +21,36 @@ std::size_t bucket_for(Nanoseconds duration) noexcept {
 }  // namespace
 
 void LatencyHistogram::record(Nanoseconds duration) noexcept {
-  std::lock_guard lock(mutex_);
-  ++buckets_[bucket_for(duration)];
-  ++count_;
-  total_ += duration;
+  buckets_[bucket_for(duration)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(duration.count(), std::memory_order_relaxed);
 }
 
 std::uint64_t LatencyHistogram::count() const noexcept {
-  std::lock_guard lock(mutex_);
-  return count_;
+  return count_.load(std::memory_order_relaxed);
 }
 
 Nanoseconds LatencyHistogram::total() const noexcept {
-  std::lock_guard lock(mutex_);
-  return total_;
+  return Nanoseconds(total_ns_.load(std::memory_order_relaxed));
 }
 
 Nanoseconds LatencyHistogram::mean() const noexcept {
-  std::lock_guard lock(mutex_);
-  if (count_ == 0) return Nanoseconds(0);
-  return Nanoseconds(total_.count() / static_cast<std::int64_t>(count_));
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return Nanoseconds(0);
+  return Nanoseconds(total_ns_.load(std::memory_order_relaxed) /
+                     static_cast<std::int64_t>(n));
 }
 
 std::uint64_t LatencyHistogram::approximate_quantile_us(
     double quantile) const noexcept {
-  std::lock_guard lock(mutex_);
-  if (count_ == 0) return 0;
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
   const std::uint64_t target =
-      static_cast<std::uint64_t>(quantile * static_cast<double>(count_));
+      static_cast<std::uint64_t>(quantile * static_cast<double>(n));
   std::uint64_t seen = 0;
   std::uint64_t bound = 2;
   for (std::size_t i = 0; i < kBuckets; ++i, bound <<= 1) {
-    seen += buckets_[i];
+    seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen > target) return bound;
   }
   return bound;
@@ -60,8 +58,17 @@ std::uint64_t LatencyHistogram::approximate_quantile_us(
 
 std::array<std::uint64_t, LatencyHistogram::kBuckets>
 LatencyHistogram::buckets() const noexcept {
-  std::lock_guard lock(mutex_);
-  return buckets_;
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -69,27 +76,35 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
-void MetricsRegistry::increment(const std::string& name, std::uint64_t delta) {
+MetricsRegistry::Counter* MetricsRegistry::counter_handle(
+    const std::string& name) {
   std::lock_guard lock(mutex_);
-  counters_[name] += delta;
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(0);
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::latency_handle(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::increment(const std::string& name, std::uint64_t delta) {
+  counter_handle(name)->fetch_add(delta, std::memory_order_relaxed);
 }
 
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
   std::lock_guard lock(mutex_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0
+                               : it->second->load(std::memory_order_relaxed);
 }
 
 void MetricsRegistry::record_latency(const std::string& name,
                                      Nanoseconds duration) {
-  LatencyHistogram* histogram = nullptr;
-  {
-    std::lock_guard lock(mutex_);
-    auto& slot = histograms_[name];
-    if (!slot) slot = std::make_unique<LatencyHistogram>();
-    histogram = slot.get();
-  }
-  histogram->record(duration);
+  latency_handle(name)->record(duration);
 }
 
 const LatencyHistogram* MetricsRegistry::histogram(
@@ -102,7 +117,9 @@ const LatencyHistogram* MetricsRegistry::histogram(
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
   MetricsSnapshot snap;
-  snap.counters = counters_;
+  for (const auto& [name, cell] : counters_) {
+    snap.counters[name] = cell->load(std::memory_order_relaxed);
+  }
   for (const auto& [name, histogram] : histograms_) {
     snap.latency_counts[name] = histogram->count();
     snap.latency_mean_us[name] =
@@ -113,8 +130,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
-  counters_.clear();
-  histograms_.clear();
+  // Zero in place: handles returned by counter_handle/latency_handle must
+  // survive a reset (hot paths resolve them once and never again).
+  for (auto& [name, cell] : counters_) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->reset();
+  }
 }
 
 std::string format_snapshot(const MetricsSnapshot& snapshot) {

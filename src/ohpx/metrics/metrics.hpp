@@ -4,9 +4,16 @@
 // protocol, error categories and capability denials — the operational
 // visibility a production ORB needs and the paper's open-implementation
 // philosophy invites (the ORB's decisions are observable, not hidden).
+//
+// Hot paths use *handles*: counter_handle()/latency_handle() resolve a name
+// once and return a stable pointer the caller bumps directly — no string
+// concatenation and no map lookup per event.  Handles stay valid for the
+// registry's lifetime; reset() zeroes values in place so outstanding
+// handles keep working.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -21,7 +28,10 @@ namespace ohpx::metrics {
 
 /// Log-scale latency histogram: bucket i holds durations in
 /// [2^i, 2^(i+1)) microseconds; bucket 0 is < 2 us, the last bucket is
-/// open-ended.
+/// open-ended.  Lock-free: record() is three relaxed atomic adds, so the
+/// invocation hot path never serializes on a histogram mutex; readers see
+/// each cell atomically (cross-cell totals may lag by in-flight records,
+/// which is fine for reporting).
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 20;
@@ -38,11 +48,13 @@ class LatencyHistogram {
 
   std::array<std::uint64_t, kBuckets> buckets() const noexcept;
 
+  /// Zeroes all samples in place (pointers to this histogram stay valid).
+  void reset() noexcept;
+
  private:
-  mutable std::mutex mutex_;
-  std::array<std::uint64_t, kBuckets> buckets_ OHPX_GUARDED_BY(mutex_){};
-  std::uint64_t count_ OHPX_GUARDED_BY(mutex_) = 0;
-  Nanoseconds total_ OHPX_GUARDED_BY(mutex_){0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> total_ns_{0};
 };
 
 struct MetricsSnapshot {
@@ -53,8 +65,18 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
+  /// Stable counter cell: bump with fetch_add, read with load.
+  using Counter = std::atomic<std::uint64_t>;
+
   /// Process-wide default registry (callers may also own private ones).
   static MetricsRegistry& global();
+
+  /// Resolves (creating on first use) a counter and returns a pointer that
+  /// stays valid for the registry's lifetime — resolve once, bump forever.
+  Counter* counter_handle(const std::string& name);
+
+  /// Same contract for latency histograms.
+  LatencyHistogram* latency_handle(const std::string& name);
 
   void increment(const std::string& name, std::uint64_t delta = 1);
   std::uint64_t counter(const std::string& name) const;
@@ -63,11 +85,15 @@ class MetricsRegistry {
   const LatencyHistogram* histogram(const std::string& name) const;
 
   MetricsSnapshot snapshot() const;
+
+  /// Zeroes every counter and histogram *in place*: names and outstanding
+  /// handles survive, values restart from zero.
   void reset();
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t> counters_ OHPX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      OHPX_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
       OHPX_GUARDED_BY(mutex_);
 };

@@ -4,6 +4,7 @@
 #include "ohpx/metrics/metrics.hpp"
 #include "ohpx/protocol/glue_wire.hpp"
 #include "ohpx/transport/inproc.hpp"
+#include "ohpx/wire/buffer_pool.hpp"
 
 namespace ohpx::orb {
 namespace {
@@ -25,9 +26,12 @@ Context::Context(ContextId id, netsim::MachineId machine,
       topology_(topology),
       location_(location),
       endpoint_("ctx/" + std::to_string(id)),
-      pool_(proto::ProtoPool::standard()) {
+      pool_(proto::ProtoPool::standard()),
+      requests_counter_(metrics::MetricsRegistry::global().counter_handle(
+          "server.requests")) {
   transport::EndpointRegistry::instance().bind(
-      endpoint_, [this](const wire::Buffer& frame) { return handle_frame(frame); });
+      endpoint_,
+      [this](const wire::Buffer& frame) { return handle_frame(frame); });
 }
 
 Context::~Context() {
@@ -173,11 +177,13 @@ std::uint64_t Context::next_request_id() noexcept {
 
 wire::Buffer Context::handle_frame(const wire::Buffer& frame) noexcept {
   auto& registry = metrics::MetricsRegistry::global();
-  registry.increment("server.requests");
+  requests_counter_->fetch_add(1, std::memory_order_relaxed);
   try {
     return handle_frame_or_throw(frame);
   } catch (const Error& e) {
-    registry.increment("server.errors." + std::string(to_string(e.code())));
+    registry
+        .counter_handle("server.errors." + std::string(to_string(e.code())))
+        ->fetch_add(1, std::memory_order_relaxed);
     wire::MessageHeader header;
     BytesView body;
     try {
@@ -187,7 +193,9 @@ wire::Buffer Context::handle_frame(const wire::Buffer& frame) noexcept {
     }
     return error_frame(header, e.code(), e.what());
   } catch (const std::exception& e) {
-    registry.increment("server.errors.remote_application_error");
+    registry
+        .counter_handle("server.errors.remote_application_error")
+        ->fetch_add(1, std::memory_order_relaxed);
     wire::MessageHeader header;
     BytesView body;
     try {
@@ -208,7 +216,10 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
                         "server received a non-request frame");
   }
 
-  wire::Buffer payload(body.data(), body.size());
+  // Zero-copy dispatch: only glue processing mutates the payload, so the
+  // common path decodes arguments straight out of the request frame.
+  BytesView payload_view = body;
+  wire::Buffer payload;
 
   cap::CallContext call;
   call.request_id = header.request_id;
@@ -221,6 +232,7 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
 
   std::shared_ptr<GlueBinding> binding;
   if (header.flags & wire::kFlagGlueProcessed) {
+    payload = wire::Buffer(body.data(), body.size());
     const std::uint32_t glue_id = proto::strip_glue_id(payload);
     binding = find_glue(glue_id);
     if (!binding) {
@@ -234,6 +246,7 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
           "glue binding does not belong to the addressed object");
     }
     binding->chain.process_inbound(payload, call);
+    payload_view = payload.view();
   }
 
   ServantPtr servant = find_servant(header.object_id);
@@ -251,7 +264,7 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
                           " not hosted in context " + std::to_string(id_));
   }
 
-  wire::Decoder in(payload.view());
+  wire::Decoder in(payload_view);
   wire::Buffer result;
   wire::Encoder out(result);
   if (oneway) {
@@ -279,7 +292,12 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
     binding->chain.process_outbound(result, call);
     reply_header.flags |= wire::kFlagGlueProcessed;
   }
-  return wire::encode_frame(reply_header, result.view());
+  // Pooled reply frame: on the in-process path the client releases it back
+  // to this thread's pool after decoding, closing the recycle loop.
+  wire::Buffer reply_frame = wire::BufferPool::local().acquire(
+      wire::kHeaderSize + result.size());
+  wire::encode_frame_into(reply_frame, reply_header, result.view());
+  return reply_frame;
 }
 
 wire::Buffer Context::error_frame(const wire::MessageHeader& request_header,

@@ -22,6 +22,7 @@
 
 #include "ohpx/capability/chain.hpp"
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/metrics/metrics.hpp"
 #include "ohpx/netsim/topology.hpp"
 #include "ohpx/orb/location.hpp"
 #include "ohpx/orb/object_ref.hpp"
@@ -150,6 +151,9 @@ class Context {
 
   std::unique_ptr<transport::TcpListener> listener_;
   std::atomic<std::uint64_t> request_counter_{0};
+
+  // Interned hot-path metric (resolved once; see MetricsRegistry handles).
+  metrics::MetricsRegistry::Counter* requests_counter_;
 };
 
 }  // namespace ohpx::orb

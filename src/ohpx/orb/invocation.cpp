@@ -1,9 +1,11 @@
 #include "ohpx/orb/invocation.hpp"
 
+#include <utility>
+
 #include "ohpx/common/log.hpp"
-#include "ohpx/metrics/metrics.hpp"
 #include "ohpx/protocol/registry.hpp"
 #include "ohpx/protocol/select.hpp"
+#include "ohpx/wire/buffer_pool.hpp"
 
 namespace ohpx::orb {
 
@@ -13,11 +15,23 @@ CallCore::CallCore(Context& context, ObjectRef ref)
     throw ObjectError(ErrorCode::bad_object_ref,
                       "cannot bind to an invalid object reference");
   }
-  protocols_ = proto::ProtocolRegistry::instance().instantiate_table(ref_.table());
+  protocols_ =
+      proto::ProtocolRegistry::instance().instantiate_table(ref_.table());
   if (protocols_.empty()) {
     throw ProtocolError(ErrorCode::protocol_no_match,
                         "object reference carries no usable protocol");
   }
+  for (const auto& protocol : protocols_) {
+    if (!protocol->applicability_is_stable()) {
+      cacheable_ = false;  // e.g. relay: gateway liveness is not epoch-keyed
+      break;
+    }
+  }
+  auto& registry = metrics::MetricsRegistry::global();
+  calls_total_ = registry.counter_handle("rmi.calls");
+  cache_hits_ = registry.counter_handle("rmi.select.cache_hit");
+  cache_misses_ = registry.counter_handle("rmi.select.cache_miss");
+  latency_ = registry.latency_handle("rmi.latency");
 }
 
 proto::CallTarget CallCore::resolve_target() const {
@@ -37,25 +51,121 @@ std::string CallCore::probe_protocol() const {
   return selected ? selected->describe() : std::string();
 }
 
-wire::Buffer CallCore::invoke_raw(std::uint32_t method_id,
-                                  const wire::Buffer& args,
+wire::Buffer CallCore::invoke_raw(std::uint32_t method_id, wire::Buffer args,
                                   CostLedger* ledger) {
-  return invoke_internal(method_id, args, ledger, /*oneway=*/false);
+  return invoke_internal(method_id, std::move(args), ledger, /*oneway=*/false);
 }
 
-void CallCore::invoke_oneway(std::uint32_t method_id, const wire::Buffer& args,
+void CallCore::invoke_oneway(std::uint32_t method_id, wire::Buffer args,
                              CostLedger* ledger) {
-  invoke_internal(method_id, args, ledger, /*oneway=*/true);
+  wire::BufferPool::local().release(
+      invoke_internal(method_id, std::move(args), ledger, /*oneway=*/true));
 }
 
 wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
-                                       const wire::Buffer& args,
-                                       CostLedger* ledger, bool oneway) {
+                                       wire::Buffer args, CostLedger* ledger,
+                                       bool oneway) {
   CostLedger local;
   CostLedger& cost = ledger ? *ledger : local;
+  auto& registry = metrics::MetricsRegistry::global();
+
+  // Pay-when-used profiling: fast-path calls nobody attached a ledger to
+  // skip the fine-grained cost clocks (several steady_clock reads per
+  // call).  The uncached baseline keeps the always-on accounting of the
+  // literal per-request pipeline — it is the fast path's "before" arm.
+  if (!ledger && cacheable_ && cache_enabled_.load(std::memory_order_relaxed)) {
+    local.disable_real_timing();
+  }
 
   for (int attempt = 0;; ++attempt) {
-    const proto::CallTarget target = resolve_target();
+    const bool use_cache =
+        cacheable_ && cache_enabled_.load(std::memory_order_relaxed);
+
+    proto::Protocol* protocol = nullptr;
+    proto::CallTarget resolved_target;  // filled on misses only
+    const proto::CallTarget* target = &resolved_target;
+    metrics::MetricsRegistry::Counter* proto_counter = nullptr;
+    bool served_from_cache = false;
+    std::shared_ptr<const CachedSelection> entry;
+
+    // Probe the invalidation signals *before* resolving, so a concurrent
+    // republish between the probe and the fill can only make the cached
+    // entry look older than it is (a spurious miss next call, never a
+    // stale hit).  The location probe is two-level: the service-wide
+    // version (one atomic load) is enough while the map is quiet; only
+    // when *some* object republished do we ask the precise per-object
+    // epoch question — and if our object was not the one that moved, the
+    // entry is revalidated at the newer version.
+    std::uint64_t epoch = 0;
+    bool epoch_probed = false;
+    std::uint64_t generation = 0;
+    std::uint64_t version = 0;
+    if (use_cache) {
+      version = context_.location().version();
+      generation = context_.pool().generation();
+      {
+        std::lock_guard lock(mutex_);
+        entry = cache_;
+      }
+      if (entry != nullptr && entry->pool_generation == generation) {
+        if (entry->location_version != version) {
+          epoch = context_.location().epoch_of(ref_.object_id());
+          epoch_probed = true;
+          if (epoch == entry->location_epoch) {
+            auto refreshed = std::make_shared<CachedSelection>(*entry);
+            refreshed->location_version = version;
+            std::lock_guard lock(mutex_);
+            if (cache_ == entry) cache_ = std::move(refreshed);
+          } else {
+            entry = nullptr;  // our object moved: stale, re-select below
+          }
+        }
+      } else {
+        entry = nullptr;
+      }
+      if (entry != nullptr) {
+        // last_protocol_ already equals entry->described: every fill sets
+        // both under one lock, and every path that rewrites last_protocol_
+        // without refilling also drops the cache.
+        protocol = entry->protocol;
+        target = &entry->target;
+        proto_counter = entry->calls_by_protocol;
+        served_from_cache = true;
+      }
+    }
+
+    if (protocol != nullptr) {
+      cache_hits_->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (use_cache) {
+        cache_misses_->fetch_add(1, std::memory_order_relaxed);
+        if (!epoch_probed) {
+          epoch = context_.location().epoch_of(ref_.object_id());
+        }
+      }
+      resolved_target = resolve_target();
+      protocol = &proto::select_protocol_or_throw(protocols_, context_.pool(),
+                                                  resolved_target);
+      std::string described = protocol->describe();
+      proto_counter = registry.counter_handle("rmi.calls." +
+                                              std::string(protocol->name()));
+      std::lock_guard lock(mutex_);
+      last_protocol_ = described;
+      if (use_cache) {
+        auto fresh = std::make_shared<CachedSelection>();
+        fresh->protocol = protocol;
+        fresh->target = resolved_target;
+        fresh->location_epoch = epoch;
+        fresh->location_version = version;
+        fresh->pool_generation = generation;
+        fresh->described = std::move(described);
+        fresh->calls_by_protocol = proto_counter;
+        cache_ = std::move(fresh);
+      } else {
+        cache_.reset();  // never serve a selection cached before the
+                         // toggle or a failed attempt
+      }
+    }
 
     wire::MessageHeader header;
     header.type =
@@ -64,24 +174,55 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     header.object_id = ref_.object_id();
     header.method_or_code = method_id;
 
-    proto::Protocol& protocol =
-        proto::select_protocol_or_throw(protocols_, context_.pool(), target);
-    {
-      std::lock_guard lock(mutex_);
-      last_protocol_ = protocol.describe();
+    if (use_cache) {
+      calls_total_->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Baseline arm: resolve the counter by name on every call, exactly
+      // like the pre-fast-path pipeline.
+      registry.counter_handle("rmi.calls")
+          ->fetch_add(1, std::memory_order_relaxed);
     }
-    auto& registry = metrics::MetricsRegistry::global();
-    registry.increment("rmi.calls");
-    registry.increment("rmi.calls." + std::string(protocol.name()));
+    proto_counter->fetch_add(1, std::memory_order_relaxed);
 
-    // The protocol consumes its payload (capabilities transform in place),
-    // so each attempt gets its own copy of the encoded arguments.
-    wire::Buffer payload(args.bytes());
-    proto::ReplyMessage reply =
-        protocol.invoke(header, std::move(payload), target, cost);
+    // Zero-copy handoff: the protocol works on the caller's buffer in
+    // place.  Only when the protocol destroys the payload (glue) *and* a
+    // stale-reference retry is still possible do we stash a pristine copy.
+    const bool may_retry = attempt + 1 < kMaxAttempts;
+    wire::Buffer retry_stash;
+    if (may_retry && !protocol->preserves_payload()) {
+      retry_stash = wire::Buffer(args.bytes());
+    }
+
+    proto::ReplyMessage reply;
+    try {
+      reply = protocol->invoke(header, args, *target, cost);
+    } catch (const TransportError&) {
+      {
+        std::lock_guard lock(mutex_);
+        cache_.reset();
+      }
+      // Only a cache *hit* retries, and only on transport drift: a
+      // memoized selection can outlive an endpoint (listener torn down,
+      // context destroyed), and a fresh re-evaluation is exactly what an
+      // uncached call would have done.  Everything else — capability
+      // denials above all — propagates unchanged, cached or not.
+      if (served_from_cache && may_retry) {
+        if (!protocol->preserves_payload()) args = std::move(retry_stash);
+        continue;
+      }
+      throw;
+    } catch (const Error&) {
+      std::lock_guard lock(mutex_);
+      cache_.reset();
+      throw;
+    }
 
     if (reply.header.type == wire::MessageType::reply) {
-      registry.record_latency("rmi.latency", cost.total());
+      if (use_cache) {
+        latency_->record(cost.total());
+      } else {
+        registry.latency_handle("rmi.latency")->record(cost.total());
+      }
       return std::move(reply.payload);
     }
 
@@ -89,10 +230,19 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     std::string message;
     wire::decode_error_body(reply.payload.view(), code_raw, message);
     const ErrorCode code = static_cast<ErrorCode>(code_raw);
-    registry.increment("rmi.errors." + std::string(to_string(code)));
-    if (code == ErrorCode::stale_reference && attempt + 1 < kMaxAttempts) {
+    registry
+        .counter_handle("rmi.errors." + std::string(to_string(code)))
+        ->fetch_add(1, std::memory_order_relaxed);
+    if (code == ErrorCode::stale_reference && may_retry) {
       log_debug("orb", "stale reference for object ", ref_.object_id(),
                 ", re-resolving (attempt ", attempt + 1, ")");
+      {
+        // The republish that made us stale bumped the epoch, but drop the
+        // entry explicitly so the retry always re-selects.
+        std::lock_guard lock(mutex_);
+        cache_.reset();
+      }
+      if (!protocol->preserves_payload()) args = std::move(retry_stash);
       continue;
     }
     throw_error(code, message);

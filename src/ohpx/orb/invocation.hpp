@@ -6,14 +6,28 @@
 // OR's table, and fire.  Error replies are re-raised as typed exceptions;
 // stale-reference replies (migration race) trigger a bounded re-resolve
 // and retry.
+//
+// Fast path: the paper re-evaluates selection per request, but between two
+// calls nothing that feeds the decision usually changed.  The selection
+// inputs are exactly (object address, pool contents), so CallCore memoizes
+// the chosen protocol keyed on (location epoch, pool generation) and
+// revalidates both probes per call — a republish (migration, enable_tcp)
+// or a pool edit invalidates the cache on the very next call, preserving
+// the adaptivity contract while skipping the re-resolve, the table scan,
+// the describe() string build and the per-call metric-name lookups.
+// References carrying a protocol whose applicability depends on state
+// outside that key (Protocol::applicability_is_stable() == false, e.g.
+// relay) are never cached.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/metrics/metrics.hpp"
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/object_ref.hpp"
 #include "ohpx/protocol/protocol.hpp"
@@ -24,17 +38,18 @@ class CallCore {
  public:
   CallCore(Context& context, ObjectRef ref);
 
-  /// Marshals nothing — the caller provides the encoded argument payload.
+  /// Marshals nothing — the caller provides the encoded argument payload
+  /// (by value: move it in to avoid a copy; the buffer is consumed).
   /// Returns the reply payload.  Costs (marshalling, capability work, wire
   /// time) accrue to `ledger` when non-null.
-  wire::Buffer invoke_raw(std::uint32_t method_id, const wire::Buffer& args,
+  wire::Buffer invoke_raw(std::uint32_t method_id, wire::Buffer args,
                           CostLedger* ledger);
 
   /// Fire-and-forget variant: the server runs the method but returns only
   /// an empty delivery ack; results and application errors are dropped on
   /// the server (infrastructure errors — no such object, capability
   /// denied — still surface here).
-  void invoke_oneway(std::uint32_t method_id, const wire::Buffer& args,
+  void invoke_oneway(std::uint32_t method_id, wire::Buffer args,
                      CostLedger* ledger);
 
   const ObjectRef& ref() const noexcept { return ref_; }
@@ -48,10 +63,40 @@ class CallCore {
   proto::CallTarget resolve_target() const;
 
   /// The protocol that *would* be selected right now, without calling.
+  /// Always performs a full re-evaluation (never consults the cache).
   std::string probe_protocol() const;
 
+  /// Toggles the memoized selection fast path (on by default).  Off means
+  /// every call re-resolves and re-scans exactly like the paper's literal
+  /// rule — the benchmark baseline.
+  void set_selection_cache(bool enabled) noexcept {
+    cache_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool selection_cache_enabled() const noexcept {
+    return cache_enabled_.load(std::memory_order_relaxed);
+  }
+
  private:
-  wire::Buffer invoke_internal(std::uint32_t method_id, const wire::Buffer& args,
+  /// One memoized selection: valid while the location epoch and pool
+  /// generation both still match.  `protocol` points into `protocols_`
+  /// (owned by this CallCore, so the pointer is stable).  Entries are
+  /// immutable once published (shared_ptr-to-const snapshots), so a hit
+  /// copies one pointer instead of a CallTarget full of address strings.
+  /// `location_version` is the service-wide edit counter at fill time: a
+  /// single atomic load revalidates the entry while the location map is
+  /// quiet, and only when *some* object republished do we pay the precise
+  /// per-object epoch_of() probe.
+  struct CachedSelection {
+    proto::Protocol* protocol = nullptr;
+    proto::CallTarget target;
+    std::uint64_t location_epoch = 0;
+    std::uint64_t location_version = 0;
+    std::uint64_t pool_generation = 0;
+    std::string described;
+    metrics::MetricsRegistry::Counter* calls_by_protocol = nullptr;
+  };
+
+  wire::Buffer invoke_internal(std::uint32_t method_id, wire::Buffer args,
                                CostLedger* ledger, bool oneway);
 
   static constexpr int kMaxAttempts = 3;
@@ -60,7 +105,17 @@ class CallCore {
   ObjectRef ref_;
   std::vector<proto::ProtocolPtr> protocols_;  // built once, reused (keeps
                                                // client capability state)
+  bool cacheable_ = true;  // all table entries have stable applicability
+  std::atomic<bool> cache_enabled_{true};
+
+  // Interned hot-path metrics handles (stable for process lifetime).
+  metrics::MetricsRegistry::Counter* calls_total_;
+  metrics::MetricsRegistry::Counter* cache_hits_;
+  metrics::MetricsRegistry::Counter* cache_misses_;
+  metrics::LatencyHistogram* latency_;
+
   mutable std::mutex mutex_;
+  std::shared_ptr<const CachedSelection> cache_ OHPX_GUARDED_BY(mutex_);
   std::string last_protocol_ OHPX_GUARDED_BY(mutex_);
 };
 

@@ -2,11 +2,13 @@
 
 namespace ohpx::orb {
 
-void LocationService::publish(ObjectId object_id, proto::ServerAddress address) {
+void LocationService::publish(ObjectId object_id,
+                              proto::ServerAddress address) {
   std::lock_guard lock(mutex_);
   const auto it = addresses_.find(object_id);
   address.epoch = (it == addresses_.end()) ? 1 : it->second.epoch + 1;
   addresses_[object_id] = std::move(address);
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 std::optional<proto::ServerAddress> LocationService::resolve(
@@ -19,7 +21,9 @@ std::optional<proto::ServerAddress> LocationService::resolve(
 
 void LocationService::remove(ObjectId object_id) {
   std::lock_guard lock(mutex_);
-  addresses_.erase(object_id);
+  if (addresses_.erase(object_id) != 0) {
+    version_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 std::uint64_t LocationService::epoch_of(ObjectId object_id) const {

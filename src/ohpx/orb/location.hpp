@@ -6,6 +6,7 @@
 // and the Figure 4 experiment).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -33,11 +34,21 @@ class LocationService {
   /// Per-object epoch; 0 if unknown.  Cheap staleness probe for caches.
   std::uint64_t epoch_of(ObjectId object_id) const;
 
+  /// Service-wide edit counter: bumped by every publish/remove of *any*
+  /// object.  A single atomic load, so per-call cache probes pay nothing
+  /// while the world is quiet; when it has moved, callers fall back to
+  /// the precise per-object epoch_of() to see whether *their* object was
+  /// the one that changed.
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
   std::size_t size() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<ObjectId, proto::ServerAddress> addresses_ OHPX_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> version_{1};
 };
 
 }  // namespace ohpx::orb

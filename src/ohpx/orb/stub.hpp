@@ -18,8 +18,10 @@
 #pragma once
 
 #include <future>
+#include <utility>
 
 #include "ohpx/orb/invocation.hpp"
+#include "ohpx/wire/buffer_pool.hpp"
 #include "ohpx/wire/serialize.hpp"
 
 namespace ohpx::orb {
@@ -49,6 +51,12 @@ class ObjectStub {
     return core_->probe_protocol();
   }
 
+  /// Toggles the memoized protocol-selection fast path (on by default).
+  void set_selection_cache(bool enabled) {
+    ensure_bound();
+    core_->set_selection_cache(enabled);
+  }
+
   /// Typed remote call: marshals `args`, invokes, unmarshals Ret.
   template <typename Ret, typename... Args>
   Ret call(std::uint32_t method_id, const Args&... args) {
@@ -63,18 +71,23 @@ class ObjectStub {
     ensure_bound();
     wire::Buffer payload;
     {
-      CostLedger scratch;
-      ScopedRealTime timer(ledger ? *ledger : scratch);
+      ScopedRealTime timer(ledger);  // disarmed when nobody is profiling
       wire::Encoder enc(payload);
       wire::serialize_all(enc, args...);
     }
-    wire::Buffer reply = core_->invoke_raw(method_id, payload, ledger);
+    wire::Buffer reply =
+        core_->invoke_raw(method_id, std::move(payload), ledger);
+    // Returning the decoded reply buffer to the pool closes the recycle
+    // loop opened in frame_roundtrip: steady-state calls reuse the same
+    // handful of warm allocations.
     if constexpr (std::is_void_v<Ret>) {
+      wire::BufferPool::local().release(std::move(reply));
       return;
     } else {
-      CostLedger scratch;
-      ScopedRealTime timer(ledger ? *ledger : scratch);
-      return wire::decode_value<Ret>(reply.view());
+      ScopedRealTime timer(ledger);
+      Ret result = wire::decode_value<Ret>(reply.view());
+      wire::BufferPool::local().release(std::move(reply));
+      return result;
     }
   }
 
@@ -89,7 +102,7 @@ class ObjectStub {
       wire::Encoder enc(payload);
       wire::serialize_all(enc, args...);
     }
-    core_->invoke_oneway(method_id, payload, nullptr);
+    core_->invoke_oneway(method_id, std::move(payload), nullptr);
   }
 
   /// Asynchronous remote call (HPC++ heritage: remote invocations that
@@ -106,7 +119,8 @@ class ObjectStub {
     }
     CallCorePtr core = core_;
     return std::async(std::launch::async, [core, payload, method_id]() -> Ret {
-      wire::Buffer reply = core->invoke_raw(method_id, *payload, nullptr);
+      wire::Buffer reply =
+          core->invoke_raw(method_id, std::move(*payload), nullptr);
       if constexpr (!std::is_void_v<Ret>) {
         return wire::decode_value<Ret>(reply.view());
       }

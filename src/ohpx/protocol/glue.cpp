@@ -19,8 +19,12 @@ bool GlueProtocol::applicable(const CallTarget& target) const {
   return chain_.applicable(target.placement) && delegate_->applicable(target);
 }
 
+bool GlueProtocol::applicability_is_stable() const noexcept {
+  return delegate_->applicability_is_stable();
+}
+
 ReplyMessage GlueProtocol::invoke(const wire::MessageHeader& header,
-                                  wire::Buffer&& payload,
+                                  wire::Buffer& payload,
                                   const CallTarget& target, CostLedger& ledger) {
   cap::CallContext call;
   call.request_id = header.request_id;
@@ -38,8 +42,7 @@ ReplyMessage GlueProtocol::invoke(const wire::MessageHeader& header,
   wire::MessageHeader glue_header = header;
   glue_header.flags |= wire::kFlagGlueProcessed;
 
-  ReplyMessage reply =
-      delegate_->invoke(glue_header, std::move(payload), target, ledger);
+  ReplyMessage reply = delegate_->invoke(glue_header, payload, target, ledger);
 
   if (reply.header.flags & wire::kFlagGlueProcessed) {
     ScopedRealTime timer(ledger);

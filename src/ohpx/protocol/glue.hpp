@@ -29,8 +29,16 @@ class GlueProtocol final : public Protocol {
   /// constituent capabilities").
   bool applicable(const CallTarget& target) const override;
 
-  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer&& payload,
+  /// Stable iff the delegate's is: the chain's applicability is a pure
+  /// function of placement (builtin capabilities are scope-based).
+  bool applicability_is_stable() const noexcept override;
+
+  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer& payload,
                       const CallTarget& target, CostLedger& ledger) override;
+
+  /// The chain rewrites the payload in place (checksum/encrypt/compress and
+  /// the prepended glue id), so the caller's buffer does not survive.
+  bool preserves_payload() const noexcept override { return false; }
 
   std::string describe() const override;
 

@@ -9,7 +9,7 @@ bool NexusSimProtocol::applicable(const CallTarget& target) const {
 }
 
 ReplyMessage NexusSimProtocol::invoke(const wire::MessageHeader& header,
-                                      wire::Buffer&& payload,
+                                      wire::Buffer& payload,
                                       const CallTarget& target,
                                       CostLedger& ledger) {
   transport::SimChannel channel(target.address.endpoint,

@@ -19,18 +19,20 @@ void ProtoPool::enable(const std::string& protocol_name) {
   if (std::find(allowed_.begin(), allowed_.end(), protocol_name) ==
       allowed_.end()) {
     allowed_.push_back(protocol_name);
+    bump_generation();
   }
 }
 
 void ProtoPool::disable(const std::string& protocol_name) {
   std::lock_guard lock(mutex_);
-  std::erase(allowed_, protocol_name);
+  if (std::erase(allowed_, protocol_name) != 0) bump_generation();
 }
 
 void ProtoPool::prefer(const std::string& protocol_name) {
   std::lock_guard lock(mutex_);
   std::erase(allowed_, protocol_name);
   allowed_.insert(allowed_.begin(), protocol_name);
+  bump_generation();
 }
 
 std::vector<std::string> ProtoPool::allowed() const {

@@ -8,6 +8,8 @@
 // pool: disabling a protocol or reordering preferences.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -42,9 +44,22 @@ class ProtoPool {
   std::vector<std::string> allowed() const;
   std::size_t size() const;
 
+  /// Monotonically increasing edit counter: bumped by every enable /
+  /// disable / prefer that changes the pool.  Selection caches key on it
+  /// so a pool edit invalidates memoized protocol choices on the very
+  /// next call (the paper's user-control aspect of selection, §3.2).
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
+  void bump_generation() noexcept {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
   mutable std::mutex mutex_;
   std::vector<std::string> allowed_ OHPX_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> generation_{1};
 };
 
 }  // namespace ohpx::proto

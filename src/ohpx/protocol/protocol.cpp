@@ -2,18 +2,22 @@
 
 #include "ohpx/common/error.hpp"
 #include "ohpx/transport/channel.hpp"
+#include "ohpx/wire/buffer_pool.hpp"
 
 namespace ohpx::proto {
 
 ReplyMessage frame_roundtrip(transport::Channel& channel,
                              const wire::MessageHeader& header,
                              const wire::Buffer& payload, CostLedger& ledger) {
-  wire::Buffer request_frame;
+  auto& pool = wire::BufferPool::local();
+  wire::Buffer request_frame =
+      pool.acquire(wire::kHeaderSize + payload.size());
   {
     ScopedRealTime timer(ledger);
-    request_frame = wire::encode_frame(header, payload.view());
+    wire::encode_frame_into(request_frame, header, payload.view());
   }
   wire::Buffer reply_frame = channel.roundtrip(request_frame, ledger);
+  pool.release(std::move(request_frame));
 
   ScopedRealTime timer(ledger);
   BytesView body;
@@ -27,7 +31,12 @@ ReplyMessage frame_roundtrip(transport::Channel& channel,
     throw ProtocolError(ErrorCode::protocol_unknown,
                         "reply for a different request id");
   }
-  reply.payload = wire::Buffer(body.data(), body.size());
+  // Pool the body copy too: the stub releases it after decoding, so the
+  // in-process loop (request frame, reply frame, reply body) runs
+  // allocation-free at steady state.
+  reply.payload = pool.acquire(body.size());
+  reply.payload.append(body);
+  pool.release(std::move(reply_frame));
   return reply;
 }
 

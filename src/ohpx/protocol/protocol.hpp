@@ -41,12 +41,26 @@ class Protocol {
   /// when client and server share a machine).
   virtual bool applicable(const CallTarget& target) const = 0;
 
-  /// Carries one request to the server and returns its reply.  `payload`
-  /// is consumed (moved) so capabilities can transform it in place without
-  /// copies.  Costs are charged to `ledger`.
+  /// True when applicable() is a pure function of `target` — the common
+  /// case, and what lets the ORB memoize protocol selection keyed on the
+  /// location epoch and pool generation.  Protocols whose applicability
+  /// also depends on external state (e.g. relay: "is the gateway bound
+  /// right now?") must return false so every call re-evaluates, keeping
+  /// the paper's per-request adaptivity contract exact.
+  virtual bool applicability_is_stable() const noexcept { return true; }
+
+  /// Carries one request to the server and returns its reply.  The caller
+  /// keeps ownership of `payload`; the protocol may transform it in place
+  /// (capability chains) without copying.  Costs are charged to `ledger`.
   virtual ReplyMessage invoke(const wire::MessageHeader& header,
-                              wire::Buffer&& payload, const CallTarget& target,
+                              wire::Buffer& payload, const CallTarget& target,
                               CostLedger& ledger) = 0;
+
+  /// True when invoke() leaves `payload` byte-identical on return — the
+  /// caller can then reuse the buffer for a stale-reference retry with no
+  /// defensive copy.  Glue (whose chain rewrites the payload) returns
+  /// false; plain transports only read it.
+  virtual bool preserves_payload() const noexcept { return true; }
 
   /// Human-readable description for logs ("glue[encryption,quota]→nexus-tcp").
   virtual std::string describe() const { return std::string(name()); }

@@ -55,7 +55,7 @@ bool RelayProtocol::applicable(const CallTarget& target) const {
 }
 
 ReplyMessage RelayProtocol::invoke(const wire::MessageHeader& header,
-                                   wire::Buffer&& payload,
+                                   wire::Buffer& payload,
                                    const CallTarget& target,
                                    CostLedger& ledger) {
   wire::Buffer inner_frame;

@@ -57,7 +57,12 @@ class RelayProtocol final : public Protocol {
   /// endpoint for the gateway to forward to.
   bool applicable(const CallTarget& target) const override;
 
-  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer&& payload,
+  /// Applicability depends on whether the gateway is bound *right now* —
+  /// external state no location epoch or pool generation tracks — so the
+  /// selection cache must not memoize references that carry a relay entry.
+  bool applicability_is_stable() const noexcept override { return false; }
+
+  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer& payload,
                       const CallTarget& target, CostLedger& ledger) override;
 
   std::string describe() const override;

@@ -9,7 +9,7 @@ bool ShmProtocol::applicable(const CallTarget& target) const {
 }
 
 ReplyMessage ShmProtocol::invoke(const wire::MessageHeader& header,
-                                 wire::Buffer&& payload,
+                                 wire::Buffer& payload,
                                  const CallTarget& target, CostLedger& ledger) {
   transport::InProcChannel channel(target.address.endpoint);
   return frame_roundtrip(channel, header, payload, ledger);

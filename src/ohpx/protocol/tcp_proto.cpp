@@ -17,7 +17,7 @@ std::shared_ptr<transport::TcpChannel> TcpProtocol::channel_for(
 }
 
 ReplyMessage TcpProtocol::invoke(const wire::MessageHeader& header,
-                                 wire::Buffer&& payload,
+                                 wire::Buffer& payload,
                                  const CallTarget& target, CostLedger& ledger) {
   auto channel = channel_for(target.address.tcp_host, target.address.tcp_port);
   try {

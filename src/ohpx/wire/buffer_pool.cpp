@@ -1,0 +1,36 @@
+#include "ohpx/wire/buffer_pool.hpp"
+
+#include <utility>
+
+namespace ohpx::wire {
+
+BufferPool& BufferPool::local() {
+  static thread_local BufferPool pool;
+  return pool;
+}
+
+Buffer BufferPool::acquire(std::size_t reserve_hint) {
+  Buffer out;
+  if (!free_.empty()) {
+    Bytes storage = std::move(free_.back());
+    free_.pop_back();
+    storage.clear();  // keeps capacity
+    out.assign(std::move(storage));
+    ++reused_;
+  } else {
+    ++allocated_;
+  }
+  if (reserve_hint != 0) out.reserve(reserve_hint);
+  return out;
+}
+
+void BufferPool::release(Buffer&& buffer) {
+  Bytes storage = buffer.release();
+  if (storage.capacity() == 0 || storage.capacity() > kMaxRetainedBytes ||
+      free_.size() >= kMaxPooled) {
+    return;  // drop: empty, oversized, or pool already full
+  }
+  free_.push_back(std::move(storage));
+}
+
+}  // namespace ohpx::wire

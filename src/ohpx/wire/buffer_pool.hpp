@@ -1,0 +1,53 @@
+// Thread-local recycling pool for wire buffers.
+//
+// Every request/reply roundtrip used to heap-allocate two frames (request
+// out, reply in) and free them microseconds later.  The pool keeps a small
+// per-thread free list of released buffers so steady-state traffic reuses
+// the same allocations: acquire() hands back a cleared buffer with its old
+// capacity intact, release() returns it.  The in-process fast path forms a
+// closed loop (server frames are released by the client after decoding),
+// so a hot caller settles on a handful of warm buffers per thread.
+//
+// Thread-local by design: no locks, no cross-thread ownership questions.
+// A buffer released on a different thread than it was acquired on simply
+// seeds that thread's pool — correctness never depends on pairing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ohpx/wire/buffer.hpp"
+
+namespace ohpx::wire {
+
+class BufferPool {
+ public:
+  /// Free-list depth per thread; beyond this, released buffers are freed.
+  static constexpr std::size_t kMaxPooled = 8;
+
+  /// Buffers whose capacity exceeds this are not retained — one giant
+  /// payload must not pin megabytes per thread forever.
+  static constexpr std::size_t kMaxRetainedBytes = std::size_t{4} << 20;
+
+  /// The calling thread's pool.
+  static BufferPool& local();
+
+  /// Returns an empty buffer, reusing a pooled allocation when one is
+  /// available, and ensures capacity for `reserve_hint` bytes.
+  Buffer acquire(std::size_t reserve_hint = 0);
+
+  /// Donates a no-longer-needed buffer back to the pool.
+  void release(Buffer&& buffer);
+
+  std::size_t pooled() const noexcept { return free_.size(); }
+  std::uint64_t reused() const noexcept { return reused_; }
+  std::uint64_t allocated() const noexcept { return allocated_; }
+
+ private:
+  std::vector<Bytes> free_;
+  std::uint64_t reused_ = 0;
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace ohpx::wire

@@ -6,47 +6,93 @@
 #include "ohpx/wire/encoder.hpp"
 
 namespace ohpx::wire {
+namespace {
+
+// The 32-byte header is fixed-layout, and it is (de)serialized four times
+// per in-process call (encode + decode on each side), so it goes through
+// direct big-endian loads/stores on a stack scratch block instead of the
+// general field-at-a-time Encoder/Decoder.  Wire format is unchanged.
+
+inline void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+inline std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) |
+         load_be32(p + 4);
+}
+
+}  // namespace
 
 Buffer encode_frame(const MessageHeader& header, BytesView body) {
   Buffer out;
-  out.reserve(kHeaderSize + body.size());
-  Encoder enc(out);
-  enc.put_u32(kFrameMagic);
-  enc.put_u8(kWireVersion);
-  enc.put_u8(static_cast<std::uint8_t>(header.type));
-  enc.put_u16(header.flags);
-  enc.put_u64(header.request_id);
-  enc.put_u64(header.object_id);
-  enc.put_u32(header.method_or_code);
-  enc.put_u32(crc32(out.view(0, kHeaderSize - 4)));
-  enc.put_raw(body);
+  encode_frame_into(out, header, body);
   return out;
+}
+
+void encode_frame_into(Buffer& out, const MessageHeader& header,
+                       BytesView body) {
+  std::uint8_t raw[kHeaderSize];
+  store_be32(raw, kFrameMagic);
+  raw[4] = kWireVersion;
+  raw[5] = static_cast<std::uint8_t>(header.type);
+  store_be16(raw + 6, header.flags);
+  store_be64(raw + 8, header.request_id);
+  store_be64(raw + 16, header.object_id);
+  store_be32(raw + 24, header.method_or_code);
+  store_be32(raw + 28, crc32(BytesView(raw, kHeaderSize - 4)));
+  out.clear();
+  out.reserve(kHeaderSize + body.size());
+  out.append(BytesView(raw, kHeaderSize));
+  out.append(body);
 }
 
 MessageHeader decode_frame(BytesView frame, BytesView& body) {
   if (frame.size() < kHeaderSize) {
     throw WireError(ErrorCode::wire_truncated, "frame shorter than header");
   }
-  Decoder dec(frame);
-  const std::uint32_t magic = dec.get_u32();
-  if (magic != kFrameMagic) {
+  const std::uint8_t* raw = frame.data();
+  if (load_be32(raw) != kFrameMagic) {
     throw WireError(ErrorCode::wire_bad_magic, "bad frame magic");
   }
-  const std::uint8_t version = dec.get_u8();
-  if (version != kWireVersion) {
+  if (raw[4] != kWireVersion) {
     throw WireError(ErrorCode::wire_bad_version, "unsupported wire version");
   }
-  MessageHeader header;
-  const std::uint8_t type = dec.get_u8();
+  const std::uint8_t type = raw[5];
   if (type < 1 || type > 4) {
     throw WireError(ErrorCode::wire_bad_value, "unknown message type");
   }
+  MessageHeader header;
   header.type = static_cast<MessageType>(type);
-  header.flags = dec.get_u16();
-  header.request_id = dec.get_u64();
-  header.object_id = dec.get_u64();
-  header.method_or_code = dec.get_u32();
-  const std::uint32_t stored_crc = dec.get_u32();
+  header.flags = load_be16(raw + 6);
+  header.request_id = load_be64(raw + 8);
+  header.object_id = load_be64(raw + 16);
+  header.method_or_code = load_be32(raw + 24);
+  const std::uint32_t stored_crc = load_be32(raw + 28);
   const std::uint32_t computed_crc =
       crc32(frame.subspan(0, kHeaderSize - 4));
   if (stored_crc != computed_crc) {
@@ -64,7 +110,8 @@ Buffer encode_error_body(std::uint32_t code, const std::string& message) {
   return out;
 }
 
-void decode_error_body(BytesView body, std::uint32_t& code, std::string& message) {
+void decode_error_body(BytesView body, std::uint32_t& code,
+                       std::string& message) {
   Decoder dec(body);
   code = dec.get_u32();
   message = dec.get_string();

@@ -54,6 +54,11 @@ struct MessageHeader {
 /// Serializes header + body into one contiguous frame.
 Buffer encode_frame(const MessageHeader& header, BytesView body);
 
+/// As encode_frame, but writes into `out` (cleared first) so callers can
+/// reuse a pooled buffer instead of allocating a fresh frame per call.
+void encode_frame_into(Buffer& out, const MessageHeader& header,
+                       BytesView body);
+
 /// Parses and validates a frame header; returns the header and sets
 /// `body` to the view of the remaining bytes.  Throws WireError on any
 /// malformed input (bad magic/version/CRC, truncation).

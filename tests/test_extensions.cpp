@@ -268,7 +268,7 @@ TEST_F(ExtensionFixture, CustomProtocolParticipatesInSelection) {
       return target.placement.same_machine();
     }
     proto::ReplyMessage invoke(const wire::MessageHeader& header,
-                               wire::Buffer&& payload,
+                               wire::Buffer& payload,
                                const proto::CallTarget& target,
                                CostLedger& ledger) override {
       transport::InProcChannel channel(target.address.endpoint);

@@ -219,7 +219,7 @@ class RecordingProtocol final : public Protocol {
   std::string_view name() const noexcept override { return "recording"; }
   bool applicable(const CallTarget&) const override { return applicable_; }
 
-  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer&& payload,
+  ReplyMessage invoke(const wire::MessageHeader& header, wire::Buffer& payload,
                       const CallTarget&, CostLedger&) override {
     last_header = header;
     last_payload = payload.bytes();
@@ -248,7 +248,8 @@ TEST(Glue, MarksHeaderAndPrependsGlueId) {
   header.object_id = 6;
   CallTarget target;
   CostLedger ledger;
-  glue.invoke(header, wire::Buffer(Bytes{0xaa}), target, ledger);
+  wire::Buffer payload(Bytes{0xaa});
+  glue.invoke(header, payload, target, ledger);
 
   EXPECT_TRUE(recorder->last_header.flags & wire::kFlagGlueProcessed);
   ASSERT_EQ(recorder->last_payload.size(), 5u);  // 4-byte glue id + 1 byte
@@ -273,8 +274,8 @@ TEST(Glue, UnprocessesFlaggedReplies) {
   CostLedger ledger;
   // Unflagged reply passes through untouched (it still carries the glue id
   // + checksum the request chain added, since the recorder just echoes).
-  const ReplyMessage reply =
-      glue.invoke(header, wire::Buffer(Bytes{1, 2, 3}), target, ledger);
+  wire::Buffer payload(Bytes{1, 2, 3});
+  const ReplyMessage reply = glue.invoke(header, payload, target, ledger);
   EXPECT_EQ(reply.payload.size(), 3u + 4u + 4u);  // payload + glue id + crc
 }
 
@@ -311,7 +312,8 @@ TEST(Glue, AdmissionRefusalSurfacesBeforeDelegate) {
   wire::MessageHeader header;
   CallTarget target;
   CostLedger ledger;
-  EXPECT_THROW(glue.invoke(header, wire::Buffer(Bytes{1}), target, ledger),
+  wire::Buffer payload(Bytes{1});
+  EXPECT_THROW(glue.invoke(header, payload, target, ledger),
                CapabilityDenied);
   EXPECT_TRUE(recorder->last_payload.empty());  // delegate never reached
 }
@@ -352,7 +354,8 @@ TEST(TcpProtocolRecovery, ReconnectsAfterServerRestart) {
   wire::MessageHeader header;
   header.request_id = 1;
   CostLedger ledger;
-  auto reply = tcp.invoke(header, wire::Buffer(Bytes{1, 2}), target, ledger);
+  wire::Buffer first_payload(Bytes{1, 2});
+  auto reply = tcp.invoke(header, first_payload, target, ledger);
   EXPECT_EQ(reply.payload.size(), 2u);
 
   // Restart the server on the same port; the cached channel is now dead.
@@ -360,7 +363,8 @@ TEST(TcpProtocolRecovery, ReconnectsAfterServerRestart) {
   transport::TcpListener second(port, echo_handler);
 
   header.request_id = 2;
-  reply = tcp.invoke(header, wire::Buffer(Bytes{3, 4, 5}), target, ledger);
+  wire::Buffer second_payload(Bytes{3, 4, 5});
+  reply = tcp.invoke(header, second_payload, target, ledger);
   EXPECT_EQ(reply.payload.size(), 3u);
 }
 

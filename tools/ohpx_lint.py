@@ -21,6 +21,11 @@ Checks (each also exercised by --self-test):
                      *reverse* order (rbegin/rend) while process_outbound
                      runs forward — the chain composes like function
                      application, so inbound must peel in reverse
+  metric-handles     no per-call metric-name concatenation
+                     (`registry.increment("..." + ...)` and friends) in the
+                     hot-path dirs src/ohpx/orb/ and src/ohpx/protocol/ —
+                     intern a counter_handle()/latency_handle() once and
+                     bump the handle instead
 
 Usage:
   python3 tools/ohpx_lint.py [--root REPO_ROOT]   # lint the repo, exit 0/1
@@ -231,10 +236,36 @@ class Linter:
                         "(rbegin/rend) — the chain composes like function "
                         "application")
 
+    # Hot-path dirs where per-call metric-name building is banned; the
+    # MetricsRegistry handle API exists precisely so these never allocate.
+    METRIC_HOT_DIRS = ("ohpx/orb", "ohpx/protocol")
+    METRIC_CALL_RE = re.compile(r"\.\s*(increment|record_latency)\s*\(")
+
+    def check_metric_handles(self) -> None:
+        for subdir in self.METRIC_HOT_DIRS:
+            base = self.src / subdir
+            if not base.is_dir():
+                continue
+            for source in sorted(base.rglob("*.[ch]pp")):
+                clean = strip_comments_and_strings(
+                    source.read_text(encoding="utf-8", errors="replace"))
+                for lineno, line in enumerate(clean.splitlines(), 1):
+                    for match in self.METRIC_CALL_RE.finditer(line):
+                        # First argument only (the metric name): a `+`
+                        # there means the name is concatenated per call.
+                        name_arg = re.split(r"[,)]", line[match.end():],
+                                            maxsplit=1)[0]
+                        if "+" in name_arg:
+                            self.report(
+                                source, lineno, "metric-handles",
+                                "metric name built per call — intern a "
+                                "counter_handle()/latency_handle() once "
+                                "and bump the handle")
+
     # -- driver -------------------------------------------------------------
 
     CHECKS = ("pragma_once", "no_stdio", "no_naked_new", "cmake_lists",
-              "cap_pairs", "chain_contract")
+              "cap_pairs", "chain_contract", "metric_handles")
 
     def run(self) -> int:
         for check in self.CHECKS:
@@ -308,6 +339,11 @@ def _make_tree(tmp: Path) -> Path:
     return root
 
 
+def _write_in(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
 def _lint_collect(root: Path) -> list[str]:
     linter = Linter(root)
     for check in Linter.CHECKS:
@@ -360,6 +396,11 @@ def self_test() -> int:
              "it != capabilities_.rend(); ++it)\n    (*it)->unprocess(b, c);",
              "for (const auto& capability : capabilities_) "
              "capability->unprocess(b, c);"))),
+        ("metric-handles",
+         lambda r: _write_in(r / "src" / "ohpx" / "orb" / "hot.cpp",
+             "void f(Registry& registry, const char* name) {\n"
+             '  registry.increment("rmi.calls." + std::string(name));\n'
+             "}\n")),
     ]
 
     # 2. Each injected violation is caught under the right rule.
@@ -385,12 +426,26 @@ def self_test() -> int:
         expect(not violations,
                f"comment/string/=delete false positive: {violations}")
 
+    # 4. metric-handles ignores literal names and delta arithmetic.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = _make_tree(Path(tmp))
+        _write_in(root / "src" / "ohpx" / "orb" / "ok.cpp",
+                  "void f(Registry& registry, unsigned n) {\n"
+                  '  registry.increment("rmi.calls");\n'
+                  '  registry.increment("rmi.calls", n + 1);\n'
+                  "}\n")
+        _write_in(root / "src" / "ohpx" / "orb" / "CMakeLists.txt",
+                  "add_library(o ok.cpp)\n")
+        violations = [v for v in _lint_collect(root) if "metric-handles" in v]
+        expect(not violations,
+               f"metric-handles false positive: {violations}")
+
     if failures:
         for failure in failures:
             print(f"SELF-TEST FAIL: {failure}")
         return 1
     print(f"ohpx-lint self-test: OK "
-          f"({1 + len(injections) + 1} fixtures verified)")
+          f"({1 + len(injections) + 2} fixtures verified)")
     return 0
 
 
