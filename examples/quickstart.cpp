@@ -6,7 +6,13 @@
 //   4. Attach capabilities to a second reference for the same object.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Pass `--trace out.json` to record every call with the ohpx::trace
+// subsystem and export a Chrome trace_event file (open it in
+// chrome://tracing or Perfetto; docs/observability.md walks through it).
 #include <cstdio>
+#include <fstream>
+#include <string_view>
 
 #include "ohpx/ohpx.hpp"
 
@@ -57,7 +63,17 @@ class GreeterStub : public orb::ObjectStub {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+  if (trace_path != nullptr) {
+    trace::TraceSink::global().set_sampling(trace::Sampling::always);
+  }
+
   // ---- 2. a world: two machines on one LAN --------------------------------
   runtime::World world;
   const netsim::LanId lan = world.add_lan("office");
@@ -91,5 +107,17 @@ int main() {
 
   std::printf("total greetings served: %llu\n",
               static_cast<unsigned long long>(greeter->count()));
+
+  // ---- 5. export the recorded trace ---------------------------------------
+  if (trace_path != nullptr) {
+    const trace::TraceSnapshot snap = trace::TraceSink::global().snapshot();
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    out << trace::to_chrome_json(snap);
+    std::printf("wrote %zu spans to %s\n", snap.spans.size(), trace_path);
+  }
   return 0;
 }

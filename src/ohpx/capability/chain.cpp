@@ -1,5 +1,7 @@
 #include "ohpx/capability/chain.hpp"
 
+#include "ohpx/trace/trace.hpp"
+
 namespace ohpx::cap {
 
 bool CapabilityChain::applicable(const netsim::Placement& placement) const {
@@ -15,6 +17,8 @@ void CapabilityChain::process_outbound(wire::Buffer& payload,
     capability->admit(call);
   }
   for (const auto& capability : capabilities_) {
+    trace::Span span(trace::SpanKind::capability, "cap.process");
+    span.annotate(capability->kind());
     capability->process(payload, call);
   }
 }
@@ -22,6 +26,8 @@ void CapabilityChain::process_outbound(wire::Buffer& payload,
 void CapabilityChain::process_inbound(wire::Buffer& payload,
                                       const CallContext& call) {
   for (auto it = capabilities_.rbegin(); it != capabilities_.rend(); ++it) {
+    trace::Span span(trace::SpanKind::capability, "cap.unprocess");
+    span.annotate((*it)->kind());
     (*it)->unprocess(payload, call);
   }
   for (const auto& capability : capabilities_) {

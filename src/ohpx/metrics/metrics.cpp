@@ -124,6 +124,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.latency_counts[name] = histogram->count();
     snap.latency_mean_us[name] =
         std::chrono::duration<double, std::micro>(histogram->mean()).count();
+    snap.latency_quantiles[name] = {histogram->approximate_quantile_us(0.50),
+                                    histogram->approximate_quantile_us(0.95),
+                                    histogram->approximate_quantile_us(0.99)};
   }
   return snap;
 }
@@ -153,7 +156,14 @@ std::string format_snapshot(const MetricsSnapshot& snapshot) {
       out << "  " << std::left << std::setw(44) << name << std::right
           << std::setw(12) << count << " samples, mean " << std::fixed
           << std::setprecision(1) << snapshot.latency_mean_us.at(name)
-          << " us\n";
+          << " us";
+      const auto it = snapshot.latency_quantiles.find(name);
+      if (it != snapshot.latency_quantiles.end()) {
+        out << ", p50 " << it->second.p50_us << " us, p95 "
+            << it->second.p95_us << " us, p99 " << it->second.p99_us
+            << " us";
+      }
+      out << "\n";
     }
   }
   return out.str();

@@ -57,10 +57,19 @@ class LatencyHistogram {
   std::atomic<std::int64_t> total_ns_{0};
 };
 
+/// Tail latencies for one histogram, from approximate_quantile_us (bucket
+/// upper bounds, so values are conservative log-scale approximations).
+struct LatencyQuantiles {
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::uint64_t> latency_counts;
   std::map<std::string, double> latency_mean_us;
+  std::map<std::string, LatencyQuantiles> latency_quantiles;
 };
 
 class MetricsRegistry {
@@ -102,18 +111,24 @@ class MetricsRegistry {
 /// per line) — the "show me what the ORB did" report for examples/tools.
 std::string format_snapshot(const MetricsSnapshot& snapshot);
 
-/// RAII latency sample into a registry.
+/// RAII latency sample.  The histogram handle is resolved at construction
+/// (one map lookup before the timed region), so the destructor is a pure
+/// record() — no per-call string lookup while the clock is running, and
+/// callers holding an interned handle skip the lookup entirely.
 class ScopedLatency {
  public:
-  ScopedLatency(MetricsRegistry& registry, std::string name)
-      : registry_(registry), name_(std::move(name)) {}
+  ScopedLatency(MetricsRegistry& registry, const std::string& name)
+      : histogram_(registry.latency_handle(name)) {}
+  explicit ScopedLatency(LatencyHistogram* histogram)
+      : histogram_(histogram) {}
   ScopedLatency(const ScopedLatency&) = delete;
   ScopedLatency& operator=(const ScopedLatency&) = delete;
-  ~ScopedLatency() { registry_.record_latency(name_, watch_.elapsed()); }
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) histogram_->record(watch_.elapsed());
+  }
 
  private:
-  MetricsRegistry& registry_;
-  std::string name_;
+  LatencyHistogram* histogram_;
   Stopwatch watch_;
 };
 

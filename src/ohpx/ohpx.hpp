@@ -20,6 +20,9 @@
 #include "ohpx/common/rng.hpp"
 #include "ohpx/common/thread_pool.hpp"
 
+#include "ohpx/trace/export.hpp"
+#include "ohpx/trace/trace.hpp"
+
 #include "ohpx/wire/buffer.hpp"
 #include "ohpx/wire/crc.hpp"
 #include "ohpx/wire/decoder.hpp"

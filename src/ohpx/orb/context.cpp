@@ -1,5 +1,7 @@
 #include "ohpx/orb/context.hpp"
 
+#include <optional>
+
 #include "ohpx/common/log.hpp"
 #include "ohpx/metrics/metrics.hpp"
 #include "ohpx/protocol/glue_wire.hpp"
@@ -216,6 +218,23 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
                         "server received a non-request frame");
   }
 
+  // Join the caller's trace: the wire extension carries the trace id and
+  // the client span to parent under, so client and server spans land in
+  // one tree even across processes.
+  std::optional<trace::ContextScope> trace_scope;
+  if (header.has_trace() &&
+      (header.trace_flags & wire::kTraceFlagSampled) != 0 &&
+      trace::TraceSink::active()) {
+    trace::TraceContext adopted;
+    adopted.trace_hi = header.trace_hi;
+    adopted.trace_lo = header.trace_lo;
+    adopted.span_id = header.trace_parent_span;
+    adopted.sampled = true;
+    trace_scope.emplace(adopted);
+  }
+  trace::Span server_span(trace::SpanKind::server, "server.dispatch");
+  server_span.annotate_u64("obj", header.object_id);
+
   // Zero-copy dispatch: only glue processing mutates the payload, so the
   // common path decodes arguments straight out of the request frame.
   BytesView payload_view = body;
@@ -267,18 +286,22 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
   wire::Decoder in(payload_view);
   wire::Buffer result;
   wire::Encoder out(result);
-  if (oneway) {
-    // Fire-and-forget: the handler runs, but neither its result nor its
-    // application errors travel back (Nexus RSR semantics).  The empty
-    // ack only confirms delivery.
-    try {
+  {
+    trace::Span servant_span(trace::SpanKind::servant, "servant.dispatch");
+    servant_span.annotate_u64("method", header.method_or_code);
+    if (oneway) {
+      // Fire-and-forget: the handler runs, but neither its result nor its
+      // application errors travel back (Nexus RSR semantics).  The empty
+      // ack only confirms delivery.
+      try {
+        servant->dispatch(header.method_or_code, in, out);
+      } catch (const std::exception& e) {
+        log_warn("orb", "oneway handler error (dropped): ", e.what());
+      }
+      result.clear();
+    } else {
       servant->dispatch(header.method_or_code, in, out);
-    } catch (const std::exception& e) {
-      log_warn("orb", "oneway handler error (dropped): ", e.what());
     }
-    result.clear();
-  } else {
-    servant->dispatch(header.method_or_code, in, out);
   }
 
   wire::MessageHeader reply_header;

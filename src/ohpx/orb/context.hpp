@@ -28,6 +28,7 @@
 #include "ohpx/orb/object_ref.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/protocol/pool.hpp"
+#include "ohpx/trace/trace.hpp"
 #include "ohpx/transport/tcp.hpp"
 #include "ohpx/wire/message.hpp"
 
@@ -128,6 +129,18 @@ class Context {
   /// Fresh context id for ad-hoc construction (Worlds assign their own).
   static ContextId allocate_id() noexcept;
 
+  // -- trace sampling --
+
+  /// Per-context trace sampling override: wins over the global sink mode,
+  /// loses to a per-GP override on a CallCore (innermost steering wins).
+  void set_trace_sampling(trace::Sampling mode, double ratio = 1.0) noexcept {
+    trace_sampling_.set(mode, ratio);
+  }
+  void clear_trace_sampling() noexcept { trace_sampling_.clear(); }
+  trace::SamplingOverride& trace_sampling() noexcept {
+    return trace_sampling_;
+  }
+
   /// The complete server pipeline; public so transports acquired outside
   /// the context (tests, custom listeners) can reuse it.
   wire::Buffer handle_frame(const wire::Buffer& frame) noexcept;
@@ -151,6 +164,7 @@ class Context {
 
   std::unique_ptr<transport::TcpListener> listener_;
   std::atomic<std::uint64_t> request_counter_{0};
+  trace::SamplingOverride trace_sampling_;
 
   // Interned hot-path metric (resolved once; see MetricsRegistry handles).
   metrics::MetricsRegistry::Counter* requests_counter_;

@@ -1,5 +1,6 @@
 #include "ohpx/orb/invocation.hpp"
 
+#include <optional>
 #include <utility>
 
 #include "ohpx/common/log.hpp"
@@ -77,9 +78,25 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     local.disable_real_timing();
   }
 
+  // Root-or-join: a call made outside any trace mints a fresh root (if the
+  // sampling decision says so); a call made *inside* one — a servant
+  // invoking another object, a delegated hop — joins the ambient trace so
+  // the whole causal chain lands in one tree.  When tracing is inactive
+  // this whole block is one relaxed load.
+  std::optional<trace::ContextScope> trace_scope;
+  if (trace::TraceSink::active() && !trace::current_context().valid() &&
+      trace::should_sample(trace_sampling_, context_.trace_sampling())) {
+    trace_scope.emplace(trace::mint_root());
+  }
+  trace::Span call_span(trace::SpanKind::invoke, "rmi.invoke");
+  call_span.annotate_u64("obj", ref_.object_id());
+  call_span.annotate_u64("method", method_id);
+
   for (int attempt = 0;; ++attempt) {
     const bool use_cache =
         cacheable_ && cache_enabled_.load(std::memory_order_relaxed);
+
+    trace::Span select_span(trace::SpanKind::selection, "select");
 
     proto::Protocol* protocol = nullptr;
     proto::CallTarget resolved_target;  // filled on misses only
@@ -118,6 +135,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
             if (cache_ == entry) cache_ = std::move(refreshed);
           } else {
             entry = nullptr;  // our object moved: stale, re-select below
+            trace::event("cache.invalidate", "epoch-changed");
           }
         }
       } else {
@@ -167,12 +185,34 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       }
     }
 
+    if (select_span.armed()) {
+      select_span.annotate(served_from_cache ? "cache:hit"
+                           : use_cache       ? "cache:miss"
+                                             : "cache:off");
+      select_span.annotate(protocol->name());
+    }
+    select_span.end();
+
     wire::MessageHeader header;
     header.type =
         oneway ? wire::MessageType::oneway : wire::MessageType::request;
     header.request_id = context_.next_request_id();
     header.object_id = ref_.object_id();
     header.method_or_code = method_id;
+
+    // Propagate the trace over the wire: the current span here is the
+    // rmi.invoke span (the selection span already ended), so server-side
+    // spans parent directly under the client call.
+    if (const trace::TraceContext tctx = trace::TraceSink::active()
+                                             ? trace::current_context()
+                                             : trace::TraceContext{};
+        tctx.valid()) {
+      header.flags |= wire::kFlagTraceContext;
+      header.trace_hi = tctx.trace_hi;
+      header.trace_lo = tctx.trace_lo;
+      header.trace_parent_span = tctx.span_id;
+      header.trace_flags = wire::kTraceFlagSampled;
+    }
 
     if (use_cache) {
       calls_total_->fetch_add(1, std::memory_order_relaxed);
@@ -207,6 +247,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       // uncached call would have done.  Everything else — capability
       // denials above all — propagates unchanged, cached or not.
       if (served_from_cache && may_retry) {
+        trace::event("retry.transport", "cached endpoint gone, re-selecting");
         if (!protocol->preserves_payload()) args = std::move(retry_stash);
         continue;
       }
@@ -234,6 +275,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
         .counter_handle("rmi.errors." + std::string(to_string(code)))
         ->fetch_add(1, std::memory_order_relaxed);
     if (code == ErrorCode::stale_reference && may_retry) {
+      trace::event("retry.stale_ref", "object migrated, re-resolving");
       log_debug("orb", "stale reference for object ", ref_.object_id(),
                 ", re-resolving (attempt ", attempt + 1, ")");
       {

@@ -31,6 +31,7 @@
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/object_ref.hpp"
 #include "ohpx/protocol/protocol.hpp"
+#include "ohpx/trace/trace.hpp"
 
 namespace ohpx::orb {
 
@@ -76,6 +77,13 @@ class CallCore {
     return cache_enabled_.load(std::memory_order_relaxed);
   }
 
+  /// Per-GP trace sampling override (innermost steering point: wins over
+  /// the context override and the global sink mode).
+  void set_trace_sampling(trace::Sampling mode, double ratio = 1.0) noexcept {
+    trace_sampling_.set(mode, ratio);
+  }
+  void clear_trace_sampling() noexcept { trace_sampling_.clear(); }
+
  private:
   /// One memoized selection: valid while the location epoch and pool
   /// generation both still match.  `protocol` points into `protocols_`
@@ -107,6 +115,7 @@ class CallCore {
                                                // client capability state)
   bool cacheable_ = true;  // all table entries have stable applicability
   std::atomic<bool> cache_enabled_{true};
+  trace::SamplingOverride trace_sampling_;
 
   // Interned hot-path metrics handles (stable for process lifetime).
   metrics::MetricsRegistry::Counter* calls_total_;

@@ -57,6 +57,18 @@ class ObjectStub {
     core_->set_selection_cache(enabled);
   }
 
+  /// Per-GP trace sampling override (paper's steering contract applied to
+  /// observability): always / ratio / off for calls through this stub,
+  /// winning over the context override and the global sink mode.
+  void set_trace_sampling(trace::Sampling mode, double ratio = 1.0) {
+    ensure_bound();
+    core_->set_trace_sampling(mode, ratio);
+  }
+  void clear_trace_sampling() {
+    ensure_bound();
+    core_->clear_trace_sampling();
+  }
+
   /// Typed remote call: marshals `args`, invokes, unmarshals Ret.
   template <typename Ret, typename... Args>
   Ret call(std::uint32_t method_id, const Args&... args) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/trace/trace.hpp"
 
 namespace ohpx::proto {
 
@@ -26,6 +27,7 @@ bool GlueProtocol::applicability_is_stable() const noexcept {
 ReplyMessage GlueProtocol::invoke(const wire::MessageHeader& header,
                                   wire::Buffer& payload,
                                   const CallTarget& target, CostLedger& ledger) {
+  trace::Span span(trace::SpanKind::transport, "proto.glue");
   cap::CallContext call;
   call.request_id = header.request_id;
   call.object_id = header.object_id;

@@ -1,5 +1,6 @@
 #include "ohpx/protocol/nexus_sim.hpp"
 
+#include "ohpx/trace/trace.hpp"
 #include "ohpx/transport/sim.hpp"
 
 namespace ohpx::proto {
@@ -12,6 +13,7 @@ ReplyMessage NexusSimProtocol::invoke(const wire::MessageHeader& header,
                                       wire::Buffer& payload,
                                       const CallTarget& target,
                                       CostLedger& ledger) {
+  trace::Span span(trace::SpanKind::transport, "proto.nexus");
   transport::SimChannel channel(target.address.endpoint,
                                 target.placement.link());
   return frame_roundtrip(channel, header, payload, ledger);

@@ -1,6 +1,7 @@
 #include "ohpx/protocol/protocol.hpp"
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/trace/trace.hpp"
 #include "ohpx/transport/channel.hpp"
 #include "ohpx/wire/buffer_pool.hpp"
 
@@ -14,12 +15,22 @@ ReplyMessage frame_roundtrip(transport::Channel& channel,
       pool.acquire(wire::kHeaderSize + payload.size());
   {
     ScopedRealTime timer(ledger);
+    trace::Span encode_span(trace::SpanKind::encode, "wire.encode");
+    encode_span.annotate_u64("bytes", payload.size());
     wire::encode_frame_into(request_frame, header, payload.view());
   }
-  wire::Buffer reply_frame = channel.roundtrip(request_frame, ledger);
+  wire::Buffer reply_frame;
+  {
+    // The transport span covers send + server turnaround + receive; on the
+    // in-process path the server's own spans nest inside it time-wise but
+    // parent under the client call via the wire context, not this thread.
+    trace::Span transport_span(trace::SpanKind::transport, "transport");
+    reply_frame = channel.roundtrip(request_frame, ledger);
+  }
   pool.release(std::move(request_frame));
 
   ScopedRealTime timer(ledger);
+  trace::Span decode_span(trace::SpanKind::decode, "wire.decode");
   BytesView body;
   ReplyMessage reply;
   reply.header = wire::decode_frame(reply_frame.view(), body);

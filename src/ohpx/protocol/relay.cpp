@@ -1,6 +1,7 @@
 #include "ohpx/protocol/relay.hpp"
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/trace/trace.hpp"
 #include "ohpx/wire/decoder.hpp"
 #include "ohpx/wire/encoder.hpp"
 
@@ -58,6 +59,7 @@ ReplyMessage RelayProtocol::invoke(const wire::MessageHeader& header,
                                    wire::Buffer& payload,
                                    const CallTarget& target,
                                    CostLedger& ledger) {
+  trace::Span span(trace::SpanKind::transport, "proto.relay");
   wire::Buffer inner_frame;
   {
     ScopedRealTime timer(ledger);

@@ -1,5 +1,6 @@
 #include "ohpx/protocol/shm.hpp"
 
+#include "ohpx/trace/trace.hpp"
 #include "ohpx/transport/inproc.hpp"
 
 namespace ohpx::proto {
@@ -11,6 +12,7 @@ bool ShmProtocol::applicable(const CallTarget& target) const {
 ReplyMessage ShmProtocol::invoke(const wire::MessageHeader& header,
                                  wire::Buffer& payload,
                                  const CallTarget& target, CostLedger& ledger) {
+  trace::Span span(trace::SpanKind::transport, "proto.shm");
   transport::InProcChannel channel(target.address.endpoint);
   return frame_roundtrip(channel, header, payload, ledger);
 }

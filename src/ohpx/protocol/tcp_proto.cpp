@@ -1,5 +1,7 @@
 #include "ohpx/protocol/tcp_proto.hpp"
 
+#include "ohpx/trace/trace.hpp"
+
 namespace ohpx::proto {
 
 bool TcpProtocol::applicable(const CallTarget& target) const {
@@ -19,10 +21,12 @@ std::shared_ptr<transport::TcpChannel> TcpProtocol::channel_for(
 ReplyMessage TcpProtocol::invoke(const wire::MessageHeader& header,
                                  wire::Buffer& payload,
                                  const CallTarget& target, CostLedger& ledger) {
+  trace::Span span(trace::SpanKind::transport, "proto.tcp");
   auto channel = channel_for(target.address.tcp_host, target.address.tcp_port);
   try {
     return frame_roundtrip(*channel, header, payload, ledger);
   } catch (const TransportError&) {
+    trace::event("retry.reconnect", "stale tcp channel dropped");
     // Connection may be stale (server restarted / migrated).  Drop the
     // cached channel and retry once on a fresh connection.
     {

@@ -1,0 +1,201 @@
+#include "ohpx/trace/export.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace ohpx::trace {
+namespace {
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char digits[20];
+  auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), value);
+  (void)ec;
+  out.append(digits, end);
+}
+
+void append_hex(std::string& out, std::uint64_t value, int width) {
+  char digits[16];
+  for (int i = width - 1; i >= 0; --i) {
+    digits[i] = "0123456789abcdef"[value & 0xf];
+    value >>= 4;
+  }
+  out.append(digits, static_cast<std::size_t>(width));
+}
+
+/// Fixed-point microseconds with 3 decimals from nanoseconds — Chrome's
+/// "ts"/"dur" fields are microsecond doubles; emitting them as decimal
+/// text avoids float formatting entirely.
+void append_us(std::string& out, std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  append_u64(out, static_cast<std::uint64_t>(ns / 1000));
+  out.push_back('.');
+  const auto frac = static_cast<std::uint64_t>(ns % 1000);
+  out.push_back(static_cast<char>('0' + frac / 100));
+  out.push_back(static_cast<char>('0' + frac / 10 % 10));
+  out.push_back(static_cast<char>('0' + frac % 10));
+}
+
+void append_json_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+std::string trace_id_hex(const SpanRecord& span) {
+  std::string id;
+  append_hex(id, span.trace_hi, 16);
+  append_hex(id, span.trace_lo, 16);
+  return id;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSnapshot& snapshot) {
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(snapshot.spans.size());
+  for (const SpanRecord& span : snapshot.spans) ordered.push_back(&span);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->start_ns < b->start_ns;
+                   });
+
+  std::string out;
+  out.reserve(192 * ordered.size() + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord* span : ordered) {
+    if (!first) out.push_back(',');
+    first = false;
+    const bool instant = span->kind == SpanKind::event;
+    out += "{\"name\":\"";
+    append_json_escaped(out, span->name);
+    out += "\",\"cat\":\"";
+    out += to_string(span->kind);
+    out += instant ? "\",\"ph\":\"i\",\"s\":\"t" : "\",\"ph\":\"X";
+    out += "\",\"ts\":";
+    append_us(out, span->start_ns);
+    if (!instant) {
+      out += ",\"dur\":";
+      append_us(out, span->duration_ns);
+    }
+    out += ",\"pid\":1,\"tid\":";
+    append_u64(out, span->thread_index);
+    out += ",\"args\":{\"trace\":\"";
+    out += trace_id_hex(*span);
+    out += "\",\"span\":\"";
+    append_hex(out, span->span_id, 16);
+    out += "\",\"parent\":\"";
+    append_hex(out, span->parent_span, 16);
+    out += '"';
+    if (span->annotation[0] != '\0') {
+      out += ",\"note\":\"";
+      append_json_escaped(out, span->annotation);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+struct TreeNode {
+  const SpanRecord* span = nullptr;
+  std::vector<std::size_t> children;
+};
+
+void render_node(std::string& out, const std::vector<TreeNode>& nodes,
+                 std::size_t index, int depth) {
+  const SpanRecord& span = *nodes[index].span;
+  std::string line;
+  line.append(static_cast<std::size_t>(depth) * 2, ' ');
+  line += span.name;
+  if (line.size() < 36) line.append(36 - line.size(), ' ');
+  std::string duration;
+  append_us(duration, span.duration_ns);
+  duration += "us";
+  if (duration.size() < 14) {
+    line.append(14 - duration.size(), ' ');
+  }
+  line += duration;
+  line += "  ";
+  line += to_string(span.kind);
+  if (span.annotation[0] != '\0') {
+    line += "  [";
+    line += span.annotation;
+    line += ']';
+  }
+  out += line;
+  out.push_back('\n');
+  for (std::size_t child : nodes[index].children) {
+    render_node(out, nodes, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string to_text_tree(const TraceSnapshot& snapshot) {
+  // Group spans per trace id, link children to parents present in the
+  // snapshot, and render each orphan (no parent found) as a tree root.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::size_t>>
+      by_trace;
+  std::vector<TreeNode> nodes(snapshot.spans.size());
+  std::map<std::uint64_t, std::size_t> by_span_id;
+  for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+    nodes[i].span = &snapshot.spans[i];
+    by_span_id[snapshot.spans[i].span_id] = i;
+  }
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const SpanRecord& span = snapshot.spans[i];
+    auto parent = by_span_id.find(span.parent_span);
+    if (span.parent_span != 0 && parent != by_span_id.end() &&
+        parent->second != i) {
+      nodes[parent->second].children.push_back(i);
+    } else {
+      roots.push_back(i);
+      by_trace[{span.trace_hi, span.trace_lo}].push_back(i);
+    }
+  }
+  for (TreeNode& node : nodes) {
+    std::sort(node.children.begin(), node.children.end(),
+              [&](std::size_t a, std::size_t b) {
+                return nodes[a].span->start_ns < nodes[b].span->start_ns;
+              });
+  }
+
+  std::string out;
+  for (auto& [trace_id, trace_roots] : by_trace) {
+    out += "trace ";
+    append_hex(out, trace_id.first, 16);
+    append_hex(out, trace_id.second, 16);
+    out.push_back('\n');
+    std::sort(trace_roots.begin(), trace_roots.end(),
+              [&](std::size_t a, std::size_t b) {
+                return nodes[a].span->start_ns < nodes[b].span->start_ns;
+              });
+    for (std::size_t root : trace_roots) {
+      render_node(out, nodes, root, 1);
+    }
+  }
+  if (snapshot.dropped > 0) {
+    out += "(dropped ";
+    append_u64(out, snapshot.dropped);
+    out += " spans)\n";
+  }
+  return out;
+}
+
+}  // namespace ohpx::trace

@@ -1,0 +1,23 @@
+// Exporters for TraceSnapshot: Chrome trace_event JSON (loadable in
+// chrome://tracing or Perfetto) and an aligned text rendering of the call
+// trees.  Both are off the hot path — they allocate freely.
+#pragma once
+
+#include <string>
+
+#include "ohpx/trace/trace.hpp"
+
+namespace ohpx::trace {
+
+/// Renders the snapshot as Chrome trace_event JSON: one "X" (complete)
+/// event per span, one "i" (instant) event per zero-duration event span,
+/// timestamps in microseconds, events sorted by start time.  The trace id
+/// and span/parent ids ride in each event's "args".
+std::string to_chrome_json(const TraceSnapshot& snapshot);
+
+/// Renders the snapshot as aligned text call trees, one tree per root
+/// span (a span whose parent is absent from the snapshot), grouped by
+/// trace id.  Durations are right-aligned in microseconds.
+std::string to_text_tree(const TraceSnapshot& snapshot);
+
+}  // namespace ohpx::trace

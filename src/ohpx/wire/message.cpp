@@ -56,7 +56,7 @@ Buffer encode_frame(const MessageHeader& header, BytesView body) {
 
 void encode_frame_into(Buffer& out, const MessageHeader& header,
                        BytesView body) {
-  std::uint8_t raw[kHeaderSize];
+  std::uint8_t raw[kHeaderSize + kTraceExtensionSize];
   store_be32(raw, kFrameMagic);
   raw[4] = kWireVersion;
   raw[5] = static_cast<std::uint8_t>(header.type);
@@ -65,9 +65,17 @@ void encode_frame_into(Buffer& out, const MessageHeader& header,
   store_be64(raw + 16, header.object_id);
   store_be32(raw + 24, header.method_or_code);
   store_be32(raw + 28, crc32(BytesView(raw, kHeaderSize - 4)));
+  std::size_t prefix = kHeaderSize;
+  if (header.has_trace()) {
+    store_be64(raw + 32, header.trace_hi);
+    store_be64(raw + 40, header.trace_lo);
+    store_be64(raw + 48, header.trace_parent_span);
+    raw[56] = header.trace_flags;
+    prefix += kTraceExtensionSize;
+  }
   out.clear();
-  out.reserve(kHeaderSize + body.size());
-  out.append(BytesView(raw, kHeaderSize));
+  out.reserve(prefix + body.size());
+  out.append(BytesView(raw, prefix));
   out.append(body);
 }
 
@@ -98,7 +106,19 @@ MessageHeader decode_frame(BytesView frame, BytesView& body) {
   if (stored_crc != computed_crc) {
     throw WireError(ErrorCode::wire_bad_checksum, "frame header CRC mismatch");
   }
-  body = frame.subspan(kHeaderSize);
+  std::size_t prefix = kHeaderSize;
+  if (header.has_trace()) {
+    if (frame.size() < kHeaderSize + kTraceExtensionSize) {
+      throw WireError(ErrorCode::wire_truncated,
+                      "frame shorter than trace extension");
+    }
+    header.trace_hi = load_be64(raw + 32);
+    header.trace_lo = load_be64(raw + 40);
+    header.trace_parent_span = load_be64(raw + 48);
+    header.trace_flags = raw[56];
+    prefix += kTraceExtensionSize;
+  }
+  body = frame.subspan(prefix);
   return header;
 }
 

@@ -6,11 +6,27 @@
 //   0       4     magic 'OHPX'
 //   4       1     version (currently 1)
 //   5       1     type (request / reply / error_reply)
-//   6       2     flags (bit 0: body was processed by a glue chain)
+//   6       2     flags (bit 0: body was processed by a glue chain;
+//                        bit 1: a trace-context extension follows)
 //   8       8     request id (client-chosen, echoed in the reply)
 //   16      8     object id
 //   24      4     method id (requests) / error code (error replies)
 //   28      4     CRC-32 of bytes [0, 28)
+//
+// When kFlagTraceContext is set, a 25-byte trace-context extension sits
+// between the fixed header and the body (the distributed-tracing identity
+// from ohpx/trace/, so server dispatch and delegated calls join the
+// caller's trace):
+//
+//   offset  size  field
+//   32      8     trace id, high half
+//   40      8     trace id, low half
+//   48      8     parent span id (the client span the server parents under)
+//   56      1     trace flags (bit 0: sampled)
+//
+// The extension is outside the CRC (it is advisory — a corrupt trace id
+// cannot corrupt a call) and is skipped before capability/glue processing,
+// which only ever sees the body.
 //
 // The body of an error reply is { u32 error-code, string message } so the
 // client can rethrow the server-side failure with full fidelity.
@@ -26,6 +42,7 @@ namespace ohpx::wire {
 inline constexpr std::uint32_t kFrameMagic = 0x4f485058;  // "OHPX"
 inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::size_t kTraceExtensionSize = 25;
 
 enum class MessageType : std::uint8_t {
   request = 1,
@@ -39,6 +56,11 @@ enum class MessageType : std::uint8_t {
 
 enum : std::uint16_t {
   kFlagGlueProcessed = 1u << 0,
+  kFlagTraceContext = 1u << 1,
+};
+
+enum : std::uint8_t {
+  kTraceFlagSampled = 1u << 0,
 };
 
 struct MessageHeader {
@@ -47,6 +69,18 @@ struct MessageHeader {
   std::uint64_t request_id = 0;
   std::uint64_t object_id = 0;
   std::uint32_t method_or_code = 0;
+
+  // Trace-context extension (meaningful iff flags & kFlagTraceContext;
+  // see the layout comment above).  Plain integers here so ohpx_wire does
+  // not depend on ohpx_trace.
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t trace_parent_span = 0;
+  std::uint8_t trace_flags = 0;
+
+  bool has_trace() const noexcept {
+    return (flags & kFlagTraceContext) != 0;
+  }
 
   friend bool operator==(const MessageHeader&, const MessageHeader&) = default;
 };

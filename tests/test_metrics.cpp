@@ -78,6 +78,19 @@ TEST(Registry, SnapshotCapturesEverything) {
   EXPECT_EQ(snap.counters.at("calls"), 3u);
   EXPECT_EQ(snap.latency_counts.at("lat"), 1u);
   EXPECT_NEAR(snap.latency_mean_us.at("lat"), 10.0, 0.5);
+  // 10us lands in bucket [8,16): the approximate quantiles report the
+  // bucket upper bound for every percentile of a single-sample histogram.
+  EXPECT_EQ(snap.latency_quantiles.at("lat").p50_us, 16u);
+  EXPECT_EQ(snap.latency_quantiles.at("lat").p95_us, 16u);
+  EXPECT_EQ(snap.latency_quantiles.at("lat").p99_us, 16u);
+}
+
+TEST(Registry, ScopedLatencyViaInternedHandle) {
+  MetricsRegistry registry;
+  LatencyHistogram* handle = registry.latency_handle("interned");
+  { ScopedLatency sample(handle); }
+  EXPECT_EQ(handle->count(), 1u);
+  EXPECT_EQ(registry.histogram("interned"), handle);
 }
 
 TEST(Registry, ScopedLatencyRecords) {
@@ -112,6 +125,11 @@ TEST(Registry, FormatSnapshotReadable) {
   EXPECT_NE(text.find("12"), std::string::npos);
   EXPECT_NE(text.find("rmi.latency"), std::string::npos);
   EXPECT_NE(text.find("samples"), std::string::npos);
+  // Tail columns: 30us lands in bucket [16,32), so every quantile reports
+  // the 32us bucket bound.
+  EXPECT_NE(text.find("p50 32 us"), std::string::npos);
+  EXPECT_NE(text.find("p95 32 us"), std::string::npos);
+  EXPECT_NE(text.find("p99 32 us"), std::string::npos);
 }
 
 // ---- ORB instrumentation -------------------------------------------------------

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""check_trace_json: validate a Chrome trace_event export from ohpx::trace.
+
+Checks:
+  1. the file is valid JSON with a `traceEvents` list
+  2. every event carries the expected fields (name, ph, ts, args with
+     trace/span/parent ids); complete events ("X") also carry dur >= 0
+  3. event timestamps are monotonically non-decreasing in file order
+     (the exporter sorts by start time)
+  4. every span's parent either is the root sentinel (all zeros) or exists
+     as another event's span id
+  5. at least one trace id groups both a client span (cat "invoke") and a
+     server span (cat "server") — the cross-process propagation invariant
+
+Usage:  python3 tools/check_trace_json.py TRACE.json [--allow-no-server]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ROOT_PARENT = "0" * 16
+
+
+def fail(message: str) -> int:
+    print(f"check_trace_json: FAIL: {message}")
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--allow-no-server", action="store_true",
+                        help="skip the client+server same-trace check "
+                             "(single-sided captures)")
+    options = parser.parse_args()
+
+    try:
+        with open(options.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"cannot parse {options.trace}: {error}")
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("no traceEvents array (or it is empty)")
+
+    span_ids = set()
+    last_ts = None
+    cats_by_trace: dict[str, set] = {}
+    for index, event in enumerate(events):
+        where = f"event #{index}"
+        for field in ("name", "ph", "ts", "args"):
+            if field not in event:
+                return fail(f"{where} lacks `{field}`")
+        if event["ph"] not in ("X", "i"):
+            return fail(f"{where} has unexpected phase {event['ph']!r}")
+        if event["ph"] == "X" and event.get("dur", -1) < 0:
+            return fail(f"{where} is a complete event without dur >= 0")
+        if last_ts is not None and event["ts"] < last_ts:
+            return fail(f"{where} breaks timestamp monotonicity "
+                        f"({event['ts']} < {last_ts})")
+        last_ts = event["ts"]
+        args = event["args"]
+        for field in ("trace", "span", "parent"):
+            if field not in args:
+                return fail(f"{where} args lack `{field}`")
+        span_ids.add(args["span"])
+        cats_by_trace.setdefault(args["trace"], set()).add(
+            event.get("cat", ""))
+
+    orphans = []
+    for index, event in enumerate(events):
+        parent = event["args"]["parent"]
+        if parent != ROOT_PARENT and parent not in span_ids:
+            orphans.append(f"event #{index} ({event['name']}) parent "
+                           f"{parent}")
+    if orphans:
+        return fail("spans with missing parents:\n  " + "\n  ".join(orphans))
+
+    if not options.allow_no_server:
+        joined = [trace for trace, cats in cats_by_trace.items()
+                  if "invoke" in cats and "server" in cats]
+        if not joined:
+            return fail("no trace id groups both a client (invoke) and a "
+                        "server span — wire propagation is broken")
+
+    print(f"check_trace_json: OK ({len(events)} events, "
+          f"{len(cats_by_trace)} trace ids)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

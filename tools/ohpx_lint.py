@@ -26,6 +26,11 @@ Checks (each also exercised by --self-test):
                      hot-path dirs src/ohpx/orb/ and src/ohpx/protocol/ —
                      intern a counter_handle()/latency_handle() once and
                      bump the handle instead
+  span-names         no trace span/event names built by runtime string
+                     concatenation in src/ohpx/orb/, src/ohpx/protocol/ and
+                     src/ohpx/capability/ — SpanRecord stores a bounded
+                     copy of a string literal; dynamic detail goes in the
+                     annotation (mirror of the metric-handles rule)
 
 Usage:
   python3 tools/ohpx_lint.py [--root REPO_ROOT]   # lint the repo, exit 0/1
@@ -262,10 +267,69 @@ class Linter:
                                 "counter_handle()/latency_handle() once "
                                 "and bump the handle")
 
+    # Dirs where span/event names must be literals (the capability layer is
+    # on the traced path too, unlike the metric rule's scope).
+    SPAN_HOT_DIRS = ("ohpx/orb", "ohpx/protocol", "ohpx/capability")
+    SPAN_DECL_RE = re.compile(r"\btrace\s*::\s*Span\s+\w+\s*\(")
+    EVENT_CALL_RE = re.compile(r"\btrace\s*::\s*event\s*\(")
+
+    @staticmethod
+    def _call_args(text: str, start: int) -> list[str]:
+        """Splits the argument list of a call whose `(` precedes `start`
+        into top-level arguments (handles nested parens and newlines)."""
+        depth, args, current = 1, [], []
+        i = start
+        while i < len(text) and depth > 0:
+            c = text[i]
+            if c in "([{":
+                depth += 1
+                current.append(c)
+            elif c in ")]}":
+                depth -= 1
+                if depth > 0:
+                    current.append(c)
+            elif c == "," and depth == 1:
+                args.append("".join(current))
+                current = []
+            else:
+                current.append(c)
+            i += 1
+        args.append("".join(current))
+        return args
+
+    def check_span_names(self) -> None:
+        for subdir in self.SPAN_HOT_DIRS:
+            base = self.src / subdir
+            if not base.is_dir():
+                continue
+            for source in sorted(base.rglob("*.[ch]pp")):
+                clean = strip_comments_and_strings(
+                    source.read_text(encoding="utf-8", errors="replace"))
+                # Span(kind, name): the name is the *second* argument.
+                for match in self.SPAN_DECL_RE.finditer(clean):
+                    args = self._call_args(clean, match.end())
+                    name_arg = args[1] if len(args) > 1 else ""
+                    if "+" in name_arg:
+                        lineno = clean.count("\n", 0, match.start()) + 1
+                        self.report(
+                            source, lineno, "span-names",
+                            "span name built per call — use a string "
+                            "literal and put dynamic detail in annotate()")
+                # trace::event(name, annotation): the name is the first.
+                for match in self.EVENT_CALL_RE.finditer(clean):
+                    name_arg = self._call_args(clean, match.end())[0]
+                    if "+" in name_arg:
+                        lineno = clean.count("\n", 0, match.start()) + 1
+                        self.report(
+                            source, lineno, "span-names",
+                            "event name built per call — use a string "
+                            "literal and put dynamic detail in the "
+                            "annotation")
+
     # -- driver -------------------------------------------------------------
 
     CHECKS = ("pragma_once", "no_stdio", "no_naked_new", "cmake_lists",
-              "cap_pairs", "chain_contract", "metric_handles")
+              "cap_pairs", "chain_contract", "metric_handles", "span_names")
 
     def run(self) -> int:
         for check in self.CHECKS:
@@ -401,6 +465,17 @@ def self_test() -> int:
              "void f(Registry& registry, const char* name) {\n"
              '  registry.increment("rmi.calls." + std::string(name));\n'
              "}\n")),
+        ("span-names",
+         lambda r: _write_in(r / "src" / "ohpx" / "orb" / "spanbad.cpp",
+             "void f(const char* m) {\n"
+             "  trace::Span span(trace::SpanKind::invoke,\n"
+             '                   ("rmi." + std::string(m)).c_str());\n'
+             "}\n")),
+        ("span-names",
+         lambda r: _write_in(r / "src" / "ohpx" / "protocol" / "evbad.cpp",
+             "void f(const std::string& why) {\n"
+             '  trace::event(("retry." + why).c_str(), "");\n'
+             "}\n")),
     ]
 
     # 2. Each injected violation is caught under the right rule.
@@ -440,12 +515,28 @@ def self_test() -> int:
         expect(not violations,
                f"metric-handles false positive: {violations}")
 
+    # 5. span-names ignores literal names and dynamic *annotations*.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = _make_tree(Path(tmp))
+        _write_in(root / "src" / "ohpx" / "orb" / "spanok.cpp",
+                  "void f(const std::string& proto) {\n"
+                  "  trace::Span span(trace::SpanKind::invoke,"
+                  ' "rmi.invoke");\n'
+                  '  span.annotate("proto:" + proto);\n'
+                  '  trace::event("retry.stale_ref", "epoch " + proto);\n'
+                  "}\n")
+        _write_in(root / "src" / "ohpx" / "orb" / "CMakeLists.txt",
+                  "add_library(o spanok.cpp)\n")
+        violations = [v for v in _lint_collect(root) if "span-names" in v]
+        expect(not violations,
+               f"span-names false positive: {violations}")
+
     if failures:
         for failure in failures:
             print(f"SELF-TEST FAIL: {failure}")
         return 1
     print(f"ohpx-lint self-test: OK "
-          f"({1 + len(injections) + 2} fixtures verified)")
+          f"({1 + len(injections) + 3} fixtures verified)")
     return 0
 
 
