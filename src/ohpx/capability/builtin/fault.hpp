@@ -1,5 +1,6 @@
-// Fault-injection capability: a chaos-testing aid that refuses every Nth
-// request (or a deterministic pseudo-random fraction).  Attach it to a
+// Fault-injection capability: a chaos-testing aid that refuses requests on
+// a deterministic schedule — every Nth request, a seeded pseudo-random
+// fraction, scripted request ordinals, or any combination.  Attach it to a
 // reference to exercise failover paths — group pointers, retry logic,
 // dead-subscriber pruning — without touching the transport.
 //
@@ -8,15 +9,38 @@
 #pragma once
 
 #include <atomic>
+#include <vector>
 
 #include "ohpx/capability/capability.hpp"
 
 namespace ohpx::cap {
 
+/// Refusal schedule: a request is refused when ANY configured mode says
+/// so.  All modes are pure functions of (spec, request ordinal), so the
+/// refusal pattern is reproducible run to run.
+struct FaultSpec {
+  /// Refuse every `fail_every`-th request (0 = mode off, 1 = refuse all).
+  std::uint32_t fail_every = 0;
+
+  /// Refuse a seeded pseudo-random fraction of requests in [0, 1].  The
+  /// per-request decision is derived statelessly from (seed, ordinal), so
+  /// it is thread-safe and independent of interleaving.
+  double refuse_ratio = 0.0;
+
+  std::uint64_t seed = 1;
+
+  /// Refuse these exact request ordinals (1-based, i.e. the first request
+  /// a capability sees is ordinal 1).
+  std::vector<std::uint64_t> refuse_at;
+};
+
 class FaultCapability final : public Capability {
  public:
   /// Refuses every `fail_every`-th request (1 = refuse everything).
   explicit FaultCapability(std::uint32_t fail_every);
+
+  /// Full schedule form.  At least one mode must be engaged.
+  explicit FaultCapability(FaultSpec spec);
 
   std::string_view kind() const noexcept override { return "fault"; }
   void admit(const CallContext& call) override;
@@ -24,14 +48,21 @@ class FaultCapability final : public Capability {
   void unprocess(wire::Buffer& payload, const CallContext& call) override;
   CapabilityDescriptor descriptor() const override;
 
+  /// Counter invariant (pinned by tests): admitted() + refused() == the
+  /// number of requests this capability has seen, at every serial
+  /// observation point.  Both counters are bumped directly by the branch
+  /// that decided, never derived from each other.
   std::uint64_t admitted() const noexcept;
   std::uint64_t refused() const noexcept;
 
   static CapabilityPtr from_descriptor(const CapabilityDescriptor& descriptor);
 
  private:
-  std::uint32_t fail_every_;
+  bool should_refuse(std::uint64_t ordinal) const noexcept;
+
+  FaultSpec spec_;
   std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> refused_{0};
 };
 

@@ -37,6 +37,11 @@ struct CallContext {
   Direction direction = Direction::request;
   netsim::Placement placement;
 
+  /// Absolute deadline (ns on the resilience clock) of the enclosing call,
+  /// 0 = unbounded.  Glue fills it from the ambient deadline so chain
+  /// processing can stop early when the budget is already spent.
+  std::int64_t deadline_ns = 0;
+
   /// Deterministic per-call nonce both sides can derive (cipher seeding).
   std::uint64_t nonce() const noexcept {
     return request_id * 2 + (direction == Direction::reply ? 1 : 0);

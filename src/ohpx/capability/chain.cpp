@@ -1,8 +1,22 @@
 #include "ohpx/capability/chain.hpp"
 
+#include "ohpx/common/error.hpp"
+#include "ohpx/resilience/deadline.hpp"
 #include "ohpx/trace/trace.hpp"
 
 namespace ohpx::cap {
+namespace {
+
+// Capability transforms (ciphers, compression) are the most expensive
+// client-side pipeline stage, so a spent budget stops here before burning
+// CPU on bytes that can no longer arrive in time.
+void check_deadline(const CallContext& call, const char* where) {
+  if (resilience::deadline_expired(call.deadline_ns)) {
+    throw DeadlineExceeded(std::string("deadline exceeded before ") + where);
+  }
+}
+
+}  // namespace
 
 bool CapabilityChain::applicable(const netsim::Placement& placement) const {
   for (const auto& capability : capabilities_) {
@@ -13,6 +27,7 @@ bool CapabilityChain::applicable(const netsim::Placement& placement) const {
 
 void CapabilityChain::process_outbound(wire::Buffer& payload,
                                        const CallContext& call) {
+  check_deadline(call, "capability processing");
   for (const auto& capability : capabilities_) {
     capability->admit(call);
   }
@@ -25,6 +40,7 @@ void CapabilityChain::process_outbound(wire::Buffer& payload,
 
 void CapabilityChain::process_inbound(wire::Buffer& payload,
                                       const CallContext& call) {
+  check_deadline(call, "capability unprocessing");
   for (auto it = capabilities_.rbegin(); it != capabilities_.rend(); ++it) {
     trace::Span span(trace::SpanKind::capability, "cap.unprocess");
     span.annotate((*it)->kind());

@@ -34,6 +34,7 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::migration_failed: return "migration_failed";
     case ErrorCode::not_migratable: return "not_migratable";
     case ErrorCode::remote_application_error: return "remote_application_error";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
     case ErrorCode::internal: return "internal";
   }
   return "unknown";
@@ -47,6 +48,7 @@ void throw_error(ErrorCode code, const std::string& message) {
   if (value >= 400 && value < 500) throw CapabilityDenied(code, message);
   if (value >= 500 && value < 600) throw ObjectError(code, message);
   if (value == 700) throw RemoteError(code, message);
+  if (value == 800) throw DeadlineExceeded(code, message);
   throw Error(code, message);
 }
 

@@ -51,6 +51,8 @@ enum class ErrorCode : std::uint32_t {
   not_migratable = 601,
   // application-raised errors forwarded over the wire
   remote_application_error = 700,
+  // resilience
+  deadline_exceeded = 800,
   internal = 999,
 };
 
@@ -103,6 +105,16 @@ class ObjectError : public Error {
 class RemoteError : public Error {
  public:
   RemoteError(ErrorCode code, const std::string& what_arg)
+      : Error(code, what_arg) {}
+};
+
+/// The call's deadline budget ran out before the pipeline finished.  Never
+/// retried: the budget bounds the whole logical call, retries included.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what_arg)
+      : Error(ErrorCode::deadline_exceeded, what_arg) {}
+  DeadlineExceeded(ErrorCode code, const std::string& what_arg)
       : Error(code, what_arg) {}
 };
 

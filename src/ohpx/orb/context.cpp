@@ -5,6 +5,7 @@
 #include "ohpx/common/log.hpp"
 #include "ohpx/metrics/metrics.hpp"
 #include "ohpx/protocol/glue_wire.hpp"
+#include "ohpx/resilience/deadline.hpp"
 #include "ohpx/transport/inproc.hpp"
 #include "ohpx/wire/buffer_pool.hpp"
 
@@ -235,6 +236,18 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
   trace::Span server_span(trace::SpanKind::server, "server.dispatch");
   server_span.annotate_u64("obj", header.object_id);
 
+  // Adopt the caller's deadline: install it as the ambient deadline so a
+  // servant calling further objects spends the same budget, and refuse
+  // dispatch outright when the budget is already gone — the client has
+  // given up, work done now is wasted.
+  std::optional<resilience::DeadlineScope> deadline_scope;
+  if (header.has_deadline()) {
+    deadline_scope.emplace(header.deadline_ns);
+  }
+  if (resilience::deadline_expired(resilience::current_deadline_ns())) {
+    throw DeadlineExceeded("deadline exceeded before server dispatch");
+  }
+
   // Zero-copy dispatch: only glue processing mutates the payload, so the
   // common path decodes arguments straight out of the request frame.
   BytesView payload_view = body;
@@ -248,6 +261,7 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
   // Server side does not know the caller's machine; capabilities only
   // evaluate placement-dependent applicability on the client.
   call.placement = netsim::Placement{};
+  call.deadline_ns = resilience::current_deadline_ns();
 
   std::shared_ptr<GlueBinding> binding;
   if (header.flags & wire::kFlagGlueProcessed) {

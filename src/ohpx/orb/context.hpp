@@ -28,6 +28,7 @@
 #include "ohpx/orb/object_ref.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/protocol/pool.hpp"
+#include "ohpx/resilience/retry.hpp"
 #include "ohpx/trace/trace.hpp"
 #include "ohpx/transport/tcp.hpp"
 #include "ohpx/wire/message.hpp"
@@ -141,6 +142,17 @@ class Context {
     return trace_sampling_;
   }
 
+  // -- retry policy --
+
+  /// Per-context retry policy override: wins over the global policy, loses
+  /// to a per-GP override on a CallCore (same innermost-wins contract as
+  /// trace sampling).
+  void set_retry_policy(const resilience::RetryPolicy& policy) {
+    retry_policy_.set(policy);
+  }
+  void clear_retry_policy() { retry_policy_.clear(); }
+  resilience::RetryOverride& retry_policy() noexcept { return retry_policy_; }
+
   /// The complete server pipeline; public so transports acquired outside
   /// the context (tests, custom listeners) can reuse it.
   wire::Buffer handle_frame(const wire::Buffer& frame) noexcept;
@@ -165,6 +177,7 @@ class Context {
   std::unique_ptr<transport::TcpListener> listener_;
   std::atomic<std::uint64_t> request_counter_{0};
   trace::SamplingOverride trace_sampling_;
+  resilience::RetryOverride retry_policy_;
 
   // Interned hot-path metric (resolved once; see MetricsRegistry handles).
   metrics::MetricsRegistry::Counter* requests_counter_;

@@ -32,6 +32,10 @@ CallCore::CallCore(Context& context, ObjectRef ref)
   calls_total_ = registry.counter_handle("rmi.calls");
   cache_hits_ = registry.counter_handle("rmi.select.cache_hit");
   cache_misses_ = registry.counter_handle("rmi.select.cache_miss");
+  retries_ = registry.counter_handle("rmi.retries");
+  deadline_exceeded_ = registry.counter_handle("rmi.deadline_exceeded");
+  breaker_opened_ = registry.counter_handle("rmi.breaker.opened");
+  breaker_closed_ = registry.counter_handle("rmi.breaker.closed");
   latency_ = registry.latency_handle("rmi.latency");
 }
 
@@ -50,6 +54,66 @@ std::string CallCore::probe_protocol() const {
   proto::Protocol* selected =
       proto::select_protocol(protocols_, context_.pool(), target);
   return selected ? selected->describe() : std::string();
+}
+
+void CallCore::set_breaker_config(const resilience::BreakerConfig& config) {
+  std::lock_guard lock(mutex_);
+  if (config.enabled()) {
+    breakers_ =
+        std::make_shared<resilience::BreakerSet>(protocols_.size(), config);
+    breakers_enabled_.store(true, std::memory_order_release);
+  } else {
+    breakers_enabled_.store(false, std::memory_order_release);
+    breakers_.reset();
+  }
+}
+
+resilience::CircuitBreaker::State CallCore::breaker_state(
+    std::size_t entry) const {
+  if (!breakers_enabled_.load(std::memory_order_acquire)) {
+    return resilience::CircuitBreaker::State::closed;
+  }
+  std::lock_guard lock(mutex_);
+  if (!breakers_ || entry >= breakers_->size()) {
+    return resilience::CircuitBreaker::State::closed;
+  }
+  return breakers_->at(entry).state();
+}
+
+std::shared_ptr<resilience::BreakerSet> CallCore::breaker_set() const {
+  if (!breakers_enabled_.load(std::memory_order_relaxed)) return nullptr;
+  std::lock_guard lock(mutex_);
+  return breakers_;
+}
+
+int CallCore::max_attempts_now() {
+  const std::uint64_t revision = resilience::retry_policy_revision();
+  if (retry_revision_seen_.load(std::memory_order_acquire) != revision) {
+    const resilience::RetryPolicy policy = resilience::resolve_retry_policy(
+        retry_policy_, context_.retry_policy());
+    std::lock_guard lock(mutex_);
+    cached_policy_ = policy;
+    cached_max_attempts_.store(policy.max_attempts,
+                               std::memory_order_relaxed);
+    retry_revision_seen_.store(revision, std::memory_order_release);
+  }
+  return cached_max_attempts_.load(std::memory_order_relaxed);
+}
+
+resilience::RetryPolicy CallCore::retry_policy_now() {
+  (void)max_attempts_now();  // refresh the memo if policies changed
+  std::lock_guard lock(mutex_);
+  return cached_policy_;
+}
+
+void CallCore::wait_backoff(
+    std::optional<resilience::BackoffSchedule>& backoff, CostLedger& cost) {
+  if (!backoff) backoff.emplace(retry_policy_now());
+  const Nanoseconds delay = backoff->next();
+  if (delay.count() <= 0) return;
+  trace::event("retry.backoff", "waiting before retry");
+  cost.add_modeled(delay);
+  resilience::sleep_for(delay);
 }
 
 wire::Buffer CallCore::invoke_raw(std::uint32_t method_id, wire::Buffer args,
@@ -78,6 +142,18 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     local.disable_real_timing();
   }
 
+  // Mint this call's deadline from the configured budget, tightened
+  // against any ambient deadline (a servant calling downstream spends its
+  // caller's remaining budget, never more).  With no budget and no
+  // ambient deadline this is one relaxed load and one thread-local read.
+  std::optional<resilience::DeadlineScope> deadline_scope;
+  const std::int64_t budget =
+      deadline_budget_ns_.load(std::memory_order_relaxed);
+  if (budget > 0) {
+    deadline_scope.emplace(resilience::now_ns() + budget);
+  }
+  const std::int64_t deadline = resilience::current_deadline_ns();
+
   // Root-or-join: a call made outside any trace mints a fresh root (if the
   // sampling decision says so); a call made *inside* one — a servant
   // invoking another object, a delegated hop — joins the ambient trace so
@@ -92,7 +168,20 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
   call_span.annotate_u64("obj", ref_.object_id());
   call_span.annotate_u64("method", method_id);
 
+  const int max_attempts = max_attempts_now();
+  const std::shared_ptr<resilience::BreakerSet> breakers = breaker_set();
+  std::optional<resilience::BackoffSchedule> backoff;
+
   for (int attempt = 0;; ++attempt) {
+    if (resilience::deadline_expired(deadline)) {
+      // The budget bounds the *logical* call, retries and backoff waits
+      // included — an expired budget ends the loop no matter how many
+      // attempts the retry policy would still allow.
+      deadline_exceeded_->fetch_add(1, std::memory_order_relaxed);
+      throw DeadlineExceeded("call deadline exceeded after " +
+                             std::to_string(attempt) + " attempt(s)");
+    }
+
     const bool use_cache =
         cacheable_ && cache_enabled_.load(std::memory_order_relaxed);
 
@@ -102,6 +191,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     proto::CallTarget resolved_target;  // filled on misses only
     const proto::CallTarget* target = &resolved_target;
     metrics::MetricsRegistry::Counter* proto_counter = nullptr;
+    std::size_t entry_index = 0;
     bool served_from_cache = false;
     std::shared_ptr<const CachedSelection> entry;
 
@@ -141,6 +231,18 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       } else {
         entry = nullptr;
       }
+      // A memoized selection must still pass its breaker: an entry whose
+      // breaker tripped is temporarily inapplicable, so the hit degrades
+      // to a gated re-selection (failover to the next table entry).
+      if (entry != nullptr && breakers) {
+        bool admitted = false;
+        const auto transition =
+            breakers->at(entry->entry_index).allow(admitted);
+        if (transition == resilience::CircuitBreaker::Transition::probing) {
+          trace::event("breaker.probe", entry->described);
+        }
+        if (!admitted) entry = nullptr;
+      }
       if (entry != nullptr) {
         // last_protocol_ already equals entry->described: every fill sets
         // both under one lock, and every path that rewrites last_protocol_
@@ -148,6 +250,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
         protocol = entry->protocol;
         target = &entry->target;
         proto_counter = entry->calls_by_protocol;
+        entry_index = entry->entry_index;
         served_from_cache = true;
       }
     }
@@ -162,8 +265,24 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
         }
       }
       resolved_target = resolve_target();
-      protocol = &proto::select_protocol_or_throw(protocols_, context_.pool(),
-                                                  resolved_target);
+      if (breakers) {
+        protocol = &proto::select_protocol_or_throw(
+            protocols_, context_.pool(), resolved_target, entry_index,
+            [&](std::size_t candidate) {
+              bool admitted = false;
+              const auto transition =
+                  breakers->at(candidate).allow(admitted);
+              if (transition ==
+                  resilience::CircuitBreaker::Transition::probing) {
+                trace::event("breaker.probe", protocols_[candidate]->name());
+              }
+              return admitted;
+            });
+      } else {
+        protocol = &proto::select_protocol_or_throw(
+            protocols_, context_.pool(), resolved_target, entry_index,
+            proto::EntryGate{});
+      }
       std::string described = protocol->describe();
       proto_counter = registry.counter_handle("rmi.calls." +
                                               std::string(protocol->name()));
@@ -173,6 +292,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
         auto fresh = std::make_shared<CachedSelection>();
         fresh->protocol = protocol;
         fresh->target = resolved_target;
+        fresh->entry_index = entry_index;
         fresh->location_epoch = epoch;
         fresh->location_version = version;
         fresh->pool_generation = generation;
@@ -214,6 +334,13 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       header.trace_flags = wire::kTraceFlagSampled;
     }
 
+    // Propagate the deadline over the wire so the server refuses dispatch
+    // (and servants inherit the budget) once it has passed.
+    if (deadline != resilience::kNoDeadline) {
+      header.flags |= wire::kFlagDeadline;
+      header.deadline_ns = deadline;
+    }
+
     if (use_cache) {
       calls_total_->fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -226,8 +353,8 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
 
     // Zero-copy handoff: the protocol works on the caller's buffer in
     // place.  Only when the protocol destroys the payload (glue) *and* a
-    // stale-reference retry is still possible do we stash a pristine copy.
-    const bool may_retry = attempt + 1 < kMaxAttempts;
+    // retry is still possible do we stash a pristine copy.
+    const bool may_retry = attempt + 1 < max_attempts;
     wire::Buffer retry_stash;
     if (may_retry && !protocol->preserves_payload()) {
       retry_stash = wire::Buffer(args.bytes());
@@ -236,26 +363,69 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     proto::ReplyMessage reply;
     try {
       reply = protocol->invoke(header, args, *target, cost);
-    } catch (const TransportError&) {
+    } catch (const DeadlineExceeded&) {
       {
         std::lock_guard lock(mutex_);
         cache_.reset();
       }
-      // Only a cache *hit* retries, and only on transport drift: a
+      deadline_exceeded_->fetch_add(1, std::memory_order_relaxed);
+      throw;
+    } catch (const TransportError& e) {
+      // The channel itself failed: feed the entry's breaker (a tripped
+      // breaker makes the entry inapplicable, so the retry below — or the
+      // next call — fails over to the next table entry).
+      if (breakers) {
+        const auto transition = breakers->at(entry_index).on_failure();
+        if (transition == resilience::CircuitBreaker::Transition::opened) {
+          breaker_opened_->fetch_add(1, std::memory_order_relaxed);
+          trace::event("breaker.open", protocol->name());
+        }
+      }
+      {
+        std::lock_guard lock(mutex_);
+        cache_.reset();
+      }
+      // Retry on transient channel faults under the retry policy: a
       // memoized selection can outlive an endpoint (listener torn down,
       // context destroyed), and a fresh re-evaluation is exactly what an
-      // uncached call would have done.  Everything else — capability
-      // denials above all — propagates unchanged, cached or not.
-      if (served_from_cache && may_retry) {
+      // uncached call would have done.  Non-retryable errors — capability
+      // denials above all — propagate unchanged, cached or not.
+      if (may_retry && resilience::is_retryable(e.code())) {
+        retries_->fetch_add(1, std::memory_order_relaxed);
         trace::event("retry.transport", "cached endpoint gone, re-selecting");
+        wait_backoff(backoff, cost);
         if (!protocol->preserves_payload()) args = std::move(retry_stash);
         continue;
       }
       throw;
-    } catch (const Error&) {
-      std::lock_guard lock(mutex_);
-      cache_.reset();
+    } catch (const Error& e) {
+      {
+        std::lock_guard lock(mutex_);
+        cache_.reset();
+      }
+      // Client-side detection of a damaged exchange — a reply that fails
+      // framing (wire_bad_checksum) or capability verification
+      // (capability_bad_payload) — is as transient as a channel fault: the
+      // re-send is a fresh frame.  Refusals (auth, quota, lease) are
+      // decisions and fall through to the throw.
+      if (may_retry && resilience::is_retryable(e.code())) {
+        retries_->fetch_add(1, std::memory_order_relaxed);
+        trace::event("retry.error", to_string(e.code()));
+        wait_backoff(backoff, cost);
+        if (!protocol->preserves_payload()) args = std::move(retry_stash);
+        continue;
+      }
       throw;
+    }
+
+    // Any reply — even an error reply — proves the channel works; a
+    // half-open breaker closes on it.
+    if (breakers) {
+      const auto transition = breakers->at(entry_index).on_success();
+      if (transition == resilience::CircuitBreaker::Transition::closed) {
+        breaker_closed_->fetch_add(1, std::memory_order_relaxed);
+        trace::event("breaker.close", protocol->name());
+      }
     }
 
     if (reply.header.type == wire::MessageType::reply) {
@@ -274,16 +444,27 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     registry
         .counter_handle("rmi.errors." + std::string(to_string(code)))
         ->fetch_add(1, std::memory_order_relaxed);
-    if (code == ErrorCode::stale_reference && may_retry) {
-      trace::event("retry.stale_ref", "object migrated, re-resolving");
-      log_debug("orb", "stale reference for object ", ref_.object_id(),
-                ", re-resolving (attempt ", attempt + 1, ")");
+    if (may_retry && resilience::is_retryable(code)) {
       {
-        // The republish that made us stale bumped the epoch, but drop the
-        // entry explicitly so the retry always re-selects.
+        // A failed attempt must never leave its selection memoized (for
+        // stale references the republish that made us stale already
+        // bumped the epoch, but drop the entry explicitly so the retry
+        // always re-selects).
         std::lock_guard lock(mutex_);
         cache_.reset();
       }
+      retries_->fetch_add(1, std::memory_order_relaxed);
+      if (code == ErrorCode::stale_reference) {
+        trace::event("retry.stale_ref", "object migrated, re-resolving");
+        log_debug("orb", "stale reference for object ", ref_.object_id(),
+                  ", re-resolving (attempt ", attempt + 1, ")");
+      } else {
+        trace::event("retry.error_reply", to_string(code));
+        log_debug("orb", "retryable error reply (", to_string(code),
+                  ") for object ", ref_.object_id(), " (attempt ",
+                  attempt + 1, ")");
+      }
+      wait_backoff(backoff, cost);
       if (!protocol->preserves_payload()) args = std::move(retry_stash);
       continue;
     }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,9 @@
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/object_ref.hpp"
 #include "ohpx/protocol/protocol.hpp"
+#include "ohpx/resilience/breaker.hpp"
+#include "ohpx/resilience/deadline.hpp"
+#include "ohpx/resilience/retry.hpp"
 #include "ohpx/trace/trace.hpp"
 
 namespace ohpx::orb {
@@ -84,6 +88,33 @@ class CallCore {
   }
   void clear_trace_sampling() noexcept { trace_sampling_.clear(); }
 
+  /// Per-call deadline budget: every call through this core mints an
+  /// absolute deadline `budget` from now on the resilience clock,
+  /// tightened against any ambient deadline, checked at every pipeline
+  /// stage and carried over the wire.  Zero (the default) = unbounded.
+  void set_deadline_budget(Nanoseconds budget) noexcept {
+    deadline_budget_ns_.store(budget.count(), std::memory_order_relaxed);
+  }
+  Nanoseconds deadline_budget() const noexcept {
+    return Nanoseconds(deadline_budget_ns_.load(std::memory_order_relaxed));
+  }
+
+  /// Per-GP retry policy override (innermost steering point: wins over the
+  /// context override and the global policy).
+  void set_retry_policy(const resilience::RetryPolicy& policy) {
+    retry_policy_.set(policy);
+  }
+  void clear_retry_policy() { retry_policy_.clear(); }
+
+  /// Installs per-protocol-entry circuit breakers (one per OR-table entry,
+  /// fresh state).  A config with failure_threshold == 0 removes them —
+  /// the default, costing the fast path one relaxed load.
+  void set_breaker_config(const resilience::BreakerConfig& config);
+
+  /// Breaker state of one protocol-table entry (closed when breakers are
+  /// not enabled) — the observable for failover tests and metrics dumps.
+  resilience::CircuitBreaker::State breaker_state(std::size_t entry) const;
+
  private:
   /// One memoized selection: valid while the location epoch and pool
   /// generation both still match.  `protocol` points into `protocols_`
@@ -97,6 +128,7 @@ class CallCore {
   struct CachedSelection {
     proto::Protocol* protocol = nullptr;
     proto::CallTarget target;
+    std::size_t entry_index = 0;  // position in protocols_, keys breakers
     std::uint64_t location_epoch = 0;
     std::uint64_t location_version = 0;
     std::uint64_t pool_generation = 0;
@@ -107,7 +139,20 @@ class CallCore {
   wire::Buffer invoke_internal(std::uint32_t method_id, wire::Buffer args,
                                CostLedger* ledger, bool oneway);
 
-  static constexpr int kMaxAttempts = 3;
+  /// Fast-path view of the resolved retry policy: one global-revision probe
+  /// revalidates a memoized resolution, so the default-policy hot path
+  /// never touches a mutex.  retry_policy_now() returns the full policy
+  /// (failure path only).
+  int max_attempts_now();
+  resilience::RetryPolicy retry_policy_now();
+
+  /// Breaker set snapshot (nullptr when breakers are off — the default).
+  std::shared_ptr<resilience::BreakerSet> breaker_set() const;
+
+  /// Waits out the policy backoff before a retry (no-op under the default
+  /// zero-backoff policy); the schedule is created lazily on first use.
+  void wait_backoff(std::optional<resilience::BackoffSchedule>& backoff,
+                    CostLedger& cost);
 
   Context& context_;
   ObjectRef ref_;
@@ -117,15 +162,31 @@ class CallCore {
   std::atomic<bool> cache_enabled_{true};
   trace::SamplingOverride trace_sampling_;
 
+  // Resilience state.  The deadline budget is one relaxed load per call;
+  // the resolved retry policy is memoized against the global revision
+  // counter (two relaxed loads per call while policies are quiet); the
+  // breaker set pointer is copied under the lock only when enabled.
+  std::atomic<std::int64_t> deadline_budget_ns_{0};
+  resilience::RetryOverride retry_policy_;
+  std::atomic<std::uint64_t> retry_revision_seen_{0};
+  std::atomic<int> cached_max_attempts_{3};
+  std::atomic<bool> breakers_enabled_{false};
+
   // Interned hot-path metrics handles (stable for process lifetime).
   metrics::MetricsRegistry::Counter* calls_total_;
   metrics::MetricsRegistry::Counter* cache_hits_;
   metrics::MetricsRegistry::Counter* cache_misses_;
+  metrics::MetricsRegistry::Counter* retries_;
+  metrics::MetricsRegistry::Counter* deadline_exceeded_;
+  metrics::MetricsRegistry::Counter* breaker_opened_;
+  metrics::MetricsRegistry::Counter* breaker_closed_;
   metrics::LatencyHistogram* latency_;
 
   mutable std::mutex mutex_;
   std::shared_ptr<const CachedSelection> cache_ OHPX_GUARDED_BY(mutex_);
   std::string last_protocol_ OHPX_GUARDED_BY(mutex_);
+  resilience::RetryPolicy cached_policy_ OHPX_GUARDED_BY(mutex_);
+  std::shared_ptr<resilience::BreakerSet> breakers_ OHPX_GUARDED_BY(mutex_);
 };
 
 using CallCorePtr = std::shared_ptr<CallCore>;

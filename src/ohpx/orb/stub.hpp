@@ -69,6 +69,38 @@ class ObjectStub {
     core_->clear_trace_sampling();
   }
 
+  /// Per-call deadline budget for calls through this stub (0 = unbounded):
+  /// each call mints `budget` from now on the resilience clock, checks it
+  /// at every pipeline stage and carries it to the server.
+  void set_deadline_budget(Nanoseconds budget) {
+    ensure_bound();
+    core_->set_deadline_budget(budget);
+  }
+
+  /// Per-GP retry policy (innermost steering point: wins over the context
+  /// override and the global policy).
+  void set_retry_policy(const resilience::RetryPolicy& policy) {
+    ensure_bound();
+    core_->set_retry_policy(policy);
+  }
+  void clear_retry_policy() {
+    ensure_bound();
+    core_->clear_retry_policy();
+  }
+
+  /// Per-protocol-entry circuit breakers for this stub's OR table
+  /// (failure_threshold == 0 — the default — disables them).
+  void set_breaker_config(const resilience::BreakerConfig& config) {
+    ensure_bound();
+    core_->set_breaker_config(config);
+  }
+
+  /// Breaker state of one protocol-table entry (failover observable).
+  resilience::CircuitBreaker::State breaker_state(std::size_t entry) const {
+    ensure_bound();
+    return core_->breaker_state(entry);
+  }
+
   /// Typed remote call: marshals `args`, invokes, unmarshals Ret.
   template <typename Ret, typename... Args>
   Ret call(std::uint32_t method_id, const Args&... args) {

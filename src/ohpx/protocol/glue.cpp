@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/resilience/deadline.hpp"
 #include "ohpx/trace/trace.hpp"
 
 namespace ohpx::proto {
@@ -34,6 +35,8 @@ ReplyMessage GlueProtocol::invoke(const wire::MessageHeader& header,
   call.method_id = header.method_or_code;
   call.direction = cap::Direction::request;
   call.placement = target.placement;
+  call.deadline_ns = resilience::tighten_deadline(
+      resilience::current_deadline_ns(), header.deadline_ns);
 
   {
     ScopedRealTime timer(ledger);

@@ -8,6 +8,8 @@
 // the current placement.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "ohpx/protocol/pool.hpp"
@@ -15,14 +17,34 @@
 
 namespace ohpx::proto {
 
+/// Per-entry admission gate for selection: given a candidate's index,
+/// answer whether it may serve the current call.  This is how circuit
+/// breakers make a tripped entry temporarily inapplicable — selection
+/// fails over to the next OR-table ∩ pool entry by the paper's own
+/// first-match rule, no special-case path needed.
+using EntryGate = std::function<bool(std::size_t)>;
+
 /// Returns the first pool-allowed, applicable protocol, or nullptr.
 Protocol* select_protocol(const std::vector<ProtocolPtr>& candidates,
                           const ProtoPool& pool, const CallTarget& target);
+
+/// As above, also reporting the winning entry's index in `candidates`
+/// through `index` and skipping entries the gate refuses (a null gate
+/// admits everything).
+Protocol* select_protocol(const std::vector<ProtocolPtr>& candidates,
+                          const ProtoPool& pool, const CallTarget& target,
+                          std::size_t& index, const EntryGate& gate);
 
 /// Like select_protocol but throws ProtocolError(protocol_no_match) when
 /// nothing fits.
 Protocol& select_protocol_or_throw(const std::vector<ProtocolPtr>& candidates,
                                    const ProtoPool& pool,
                                    const CallTarget& target);
+
+/// Indexed, gated variant of select_protocol_or_throw.
+Protocol& select_protocol_or_throw(const std::vector<ProtocolPtr>& candidates,
+                                   const ProtoPool& pool,
+                                   const CallTarget& target, std::size_t& index,
+                                   const EntryGate& gate);
 
 }  // namespace ohpx::proto

@@ -1,0 +1,38 @@
+#include "ohpx/resilience/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace ohpx::resilience {
+namespace {
+
+std::atomic<ClockSource*> g_clock{nullptr};
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<Nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ClockSource* install_clock(ClockSource* source) noexcept {
+  return g_clock.exchange(source, std::memory_order_acq_rel);
+}
+
+std::int64_t now_ns() noexcept {
+  ClockSource* source = g_clock.load(std::memory_order_acquire);
+  return source != nullptr ? source->now_ns() : steady_now_ns();
+}
+
+void sleep_for(Nanoseconds duration) {
+  if (duration.count() <= 0) return;
+  ClockSource* source = g_clock.load(std::memory_order_acquire);
+  if (source != nullptr) {
+    source->sleep_for(duration);
+  } else {
+    std::this_thread::sleep_for(duration);
+  }
+}
+
+}  // namespace ohpx::resilience

@@ -1,0 +1,87 @@
+// Injectable monotonic clock for every resilience decision (deadlines,
+// backoff waits, breaker cooldowns, injected fault delays).
+//
+// Production uses the steady clock; tests install a ManualClock so every
+// time-dependent failure path — a deadline firing mid-pipeline, a breaker
+// cooling down, a scripted transport delay — runs deterministically with
+// zero wall-clock waits.  The ohpx-lint `no-test-sleeps` rule enforces
+// that tests advance this clock instead of sleeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "ohpx/common/clock.hpp"
+
+namespace ohpx::resilience {
+
+/// A source of monotonic time plus a way to wait on it.  Implementations
+/// must be thread-safe: the invocation pipeline reads the clock from any
+/// calling thread.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  /// Monotonic nanoseconds since an arbitrary (per-source) epoch.
+  virtual std::int64_t now_ns() noexcept = 0;
+
+  /// Blocks (or pretends to) for `duration`.  After the call, now_ns()
+  /// must have advanced by at least `duration`.
+  virtual void sleep_for(Nanoseconds duration) = 0;
+};
+
+/// Installs `source` as the process-wide resilience clock; returns the
+/// previously installed source (nullptr = the built-in steady clock).
+/// Pass nullptr to restore the default.  The caller keeps ownership.
+ClockSource* install_clock(ClockSource* source) noexcept;
+
+/// Current time on the installed clock (steady_clock when none installed).
+std::int64_t now_ns() noexcept;
+
+/// Waits on the installed clock: a real sleep under the default source, a
+/// pure virtual-time advance under a ManualClock.
+void sleep_for(Nanoseconds duration);
+
+/// Virtual clock for deterministic tests: time only moves when the test
+/// advances it (sleep_for advances it too, so retry backoff and injected
+/// delays complete instantly while still being observable).
+class ManualClock final : public ClockSource {
+ public:
+  explicit ManualClock(std::int64_t start_ns = 0) noexcept : now_(start_ns) {}
+
+  std::int64_t now_ns() noexcept override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void sleep_for(Nanoseconds duration) override { advance(duration); }
+
+  void advance(Nanoseconds duration) noexcept {
+    now_.fetch_add(duration.count(), std::memory_order_relaxed);
+  }
+
+  void set(std::int64_t value_ns) noexcept {
+    now_.store(value_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+/// RAII install of a ManualClock for a test scope; restores the previous
+/// source on destruction.
+class ScopedManualClock {
+ public:
+  explicit ScopedManualClock(std::int64_t start_ns = 0) noexcept
+      : clock_(start_ns), previous_(install_clock(&clock_)) {}
+  ~ScopedManualClock() { install_clock(previous_); }
+  ScopedManualClock(const ScopedManualClock&) = delete;
+  ScopedManualClock& operator=(const ScopedManualClock&) = delete;
+
+  ManualClock& clock() noexcept { return clock_; }
+
+ private:
+  ManualClock clock_;
+  ClockSource* previous_;
+};
+
+}  // namespace ohpx::resilience

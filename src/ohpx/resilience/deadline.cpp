@@ -1,0 +1,29 @@
+#include "ohpx/resilience/deadline.hpp"
+
+#include <limits>
+
+namespace ohpx::resilience {
+namespace {
+
+thread_local std::int64_t t_deadline_ns = kNoDeadline;
+
+}  // namespace
+
+std::int64_t current_deadline_ns() noexcept { return t_deadline_ns; }
+
+Nanoseconds deadline_remaining(std::int64_t deadline_ns) noexcept {
+  if (deadline_ns == kNoDeadline) {
+    return Nanoseconds(std::numeric_limits<std::int64_t>::max());
+  }
+  const std::int64_t left = deadline_ns - now_ns();
+  return Nanoseconds(left > 0 ? left : 0);
+}
+
+DeadlineScope::DeadlineScope(std::int64_t deadline_ns) noexcept
+    : saved_(t_deadline_ns) {
+  t_deadline_ns = tighten_deadline(saved_, deadline_ns);
+}
+
+DeadlineScope::~DeadlineScope() { t_deadline_ns = saved_; }
+
+}  // namespace ohpx::resilience

@@ -1,0 +1,59 @@
+// Per-call deadline budgets.
+//
+// A deadline is minted at the stub (now + budget), installed as the
+// thread-ambient deadline for the call, carried over the wire as an
+// optional header extension, and checked at every expensive pipeline
+// stage: protocol selection, capability process(), transport send, and
+// server dispatch.  Expiry surfaces as ErrorCode::deadline_exceeded.
+//
+// Deadlines are absolute nanoseconds on the resilience clock
+// (ohpx/resilience/clock.hpp), with 0 meaning "unbounded".  Ambient
+// propagation means a servant calling downstream objects inherits its
+// caller's remaining budget — the whole call tree shares one budget, the
+// classic deadline-propagation contract.
+#pragma once
+
+#include <cstdint>
+
+#include "ohpx/resilience/clock.hpp"
+
+namespace ohpx::resilience {
+
+/// Sentinel: no deadline.
+inline constexpr std::int64_t kNoDeadline = 0;
+
+/// The calling thread's ambient deadline (kNoDeadline when unbounded).
+std::int64_t current_deadline_ns() noexcept;
+
+/// True when `deadline_ns` names a real deadline that has passed on the
+/// resilience clock.  kNoDeadline never expires.
+inline bool deadline_expired(std::int64_t deadline_ns) noexcept {
+  return deadline_ns != kNoDeadline && now_ns() >= deadline_ns;
+}
+
+/// Remaining budget of `deadline_ns` (clamped at 0); a huge value when
+/// unbounded.
+Nanoseconds deadline_remaining(std::int64_t deadline_ns) noexcept;
+
+/// Tightest of two deadlines (kNoDeadline loses to any real deadline).
+inline std::int64_t tighten_deadline(std::int64_t a, std::int64_t b) noexcept {
+  if (a == kNoDeadline) return b;
+  if (b == kNoDeadline) return a;
+  return a < b ? a : b;
+}
+
+/// RAII: installs `deadline_ns` as the thread-ambient deadline, tightened
+/// against whatever deadline is already ambient (a nested call can only
+/// shrink the budget, never extend its caller's).  Restores on exit.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(std::int64_t deadline_ns) noexcept;
+  ~DeadlineScope();
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  std::int64_t saved_;
+};
+
+}  // namespace ohpx::resilience

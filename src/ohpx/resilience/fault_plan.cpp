@@ -1,0 +1,99 @@
+#include "ohpx/resilience/fault_plan.hpp"
+
+namespace ohpx::resilience {
+namespace {
+
+// FNV-1a, so endpoint-name mixing is stable across runs and platforms
+// (std::hash makes no such promise).
+std::uint64_t hash_endpoint(const std::string& endpoint) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : endpoint) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::none:
+      return "none";
+    case FaultKind::drop:
+      return "drop";
+    case FaultKind::delay:
+      return "delay";
+    case FaultKind::duplicate:
+      return "duplicate";
+    case FaultKind::corrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::set_plan(const std::string& endpoint,
+                             const FaultSchedule& schedule) {
+  std::lock_guard lock(mutex_);
+  EndpointState& state = states_[endpoint];
+  state.schedule = schedule;
+  state.scheduled = true;
+  state.rng = Xoshiro256(schedule.seed ^ hash_endpoint(endpoint));
+  state.calls = 0;
+  active_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard lock(mutex_);
+  states_.clear();
+  active_.store(false, std::memory_order_release);
+}
+
+FaultDecision FaultInjector::decide(const std::string& endpoint) {
+  std::lock_guard lock(mutex_);
+  EndpointState& state = states_[endpoint];
+  const std::uint64_t index = state.calls++;
+  if (!state.scheduled) return {};
+
+  const FaultSchedule& schedule = state.schedule;
+  for (const auto& [at, kind] : schedule.scripted) {
+    if (at == index) return {kind, schedule.delay};
+  }
+
+  const double total_rate = schedule.drop_rate + schedule.duplicate_rate +
+                            schedule.corrupt_rate + schedule.delay_rate;
+  if (total_rate <= 0.0) return {};
+
+  // One draw per call keeps the stream aligned with the call index even
+  // when rates change between schedule edits of equal shape.
+  const double u = state.rng.next_double();
+  double threshold = schedule.drop_rate;
+  if (u < threshold) return {FaultKind::drop, schedule.delay};
+  threshold += schedule.duplicate_rate;
+  if (u < threshold) return {FaultKind::duplicate, schedule.delay};
+  threshold += schedule.corrupt_rate;
+  if (u < threshold) return {FaultKind::corrupt, schedule.delay};
+  threshold += schedule.delay_rate;
+  if (u < threshold) return {FaultKind::delay, schedule.delay};
+  return {};
+}
+
+std::uint64_t FaultInjector::call_count(const std::string& endpoint) const {
+  std::lock_guard lock(mutex_);
+  const auto it = states_.find(endpoint);
+  return it == states_.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FaultInjector::total_calls() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, state] : states_) total += state.calls;
+  return total;
+}
+
+}  // namespace ohpx::resilience

@@ -1,0 +1,123 @@
+// Deterministic fault-injection plans for the sim transport.
+//
+// A FaultSchedule describes, per endpoint, which calls get hurt and how:
+// scripted call indices ("drop call 3, corrupt call 7") for precise tests,
+// plus seeded rates for chaos soaks — the whole fault sequence is a pure
+// function of (schedule, endpoint, call order), so a soak that passes once
+// passes forever under the same seed.
+//
+// The injector only *decides*; applying a fault (throwing a transport
+// error, flipping a byte, waiting on the resilience clock) is the
+// transport's job, which keeps this module free of transport dependencies.
+// Per-endpoint call counts double as the retry-amplification observable:
+// attempts-on-the-wire / logical-calls is read straight off the injector.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ohpx/common/rng.hpp"
+#include "ohpx/resilience/clock.hpp"
+
+namespace ohpx::resilience {
+
+enum class FaultKind : std::uint8_t {
+  none = 0,
+  drop,       ///< the roundtrip dies with a transport error
+  delay,      ///< the roundtrip waits `delay` on the resilience clock first
+  duplicate,  ///< the request is delivered twice (first reply discarded)
+  corrupt,    ///< one byte of the reply is flipped
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+struct FaultSchedule {
+  /// Probabilistic faults, evaluated from one uniform draw per call in the
+  /// order drop, duplicate, corrupt, delay (so rates are exclusive slices,
+  /// not independent coins).  All zero = scripted-only schedule.
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double delay_rate = 0.0;
+
+  /// How long a `delay` fault waits.
+  Nanoseconds delay{std::chrono::microseconds(50)};
+
+  /// Seed for this endpoint's fault stream (mixed with the endpoint name,
+  /// so distinct endpoints under one plan draw independent streams).
+  std::uint64_t seed = 1;
+
+  /// Scripted faults by 0-based call index; they win over the rates for
+  /// their call.  Unsorted is fine.
+  std::vector<std::pair<std::uint64_t, FaultKind>> scripted;
+};
+
+/// What decide() told the transport to do to the current call.
+struct FaultDecision {
+  FaultKind kind = FaultKind::none;
+  Nanoseconds delay{0};
+};
+
+/// Process-wide fault plan: endpoint name -> schedule.  Inactive (the
+/// default) costs the transport one relaxed load per roundtrip.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Installs/replaces the schedule for `endpoint` and activates the
+  /// injector.  Resets that endpoint's call count and fault stream.
+  void set_plan(const std::string& endpoint, const FaultSchedule& schedule);
+
+  /// Removes all schedules, zeroes all counts, deactivates.
+  void clear();
+
+  bool active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances `endpoint`'s call counter and returns the fault for this
+  /// call.  Endpoints without a schedule are still counted (their calls
+  /// feed the amplification observable) but never faulted.
+  FaultDecision decide(const std::string& endpoint);
+
+  /// Calls decide()d for `endpoint` since its plan was set (0 if unknown).
+  std::uint64_t call_count(const std::string& endpoint) const;
+
+  /// Sum of all per-endpoint call counts.
+  std::uint64_t total_calls() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct EndpointState {
+    FaultSchedule schedule;
+    bool scheduled = false;  ///< false for count-only endpoints
+    Xoshiro256 rng{0};
+    std::uint64_t calls = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, EndpointState> states_;
+  std::atomic<bool> active_{false};
+};
+
+/// RAII plan for tests: installs schedules on construction (via add()),
+/// clears the whole injector on destruction.
+class ScopedFaultPlan {
+ public:
+  ScopedFaultPlan() = default;
+  ~ScopedFaultPlan() { FaultInjector::instance().clear(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  void add(const std::string& endpoint, const FaultSchedule& schedule) {
+    FaultInjector::instance().set_plan(endpoint, schedule);
+  }
+};
+
+}  // namespace ohpx::resilience

@@ -1,0 +1,105 @@
+#include "ohpx/resilience/retry.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace ohpx::resilience {
+namespace {
+
+std::atomic<std::uint64_t> g_policy_revision{1};
+
+std::mutex& global_policy_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+RetryPolicy& global_policy_slot() {
+  static RetryPolicy policy;
+  return policy;
+}
+
+void bump_revision() noexcept {
+  g_policy_revision.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace
+
+bool is_retryable(ErrorCode code) noexcept {
+  switch (code) {
+    // Channel faults: the endpoint may rebind, a breaker may fail over.
+    case ErrorCode::transport_closed:
+    case ErrorCode::transport_connect_failed:
+    case ErrorCode::transport_io:
+    case ErrorCode::transport_unknown_endpoint:
+    // Corruption caught by framing or by a checksum capability: the next
+    // send is a fresh frame.
+    case ErrorCode::wire_truncated:
+    case ErrorCode::wire_bad_checksum:
+    case ErrorCode::capability_bad_payload:
+    // Migration race: the republish already happened, re-resolve and go.
+    case ErrorCode::stale_reference:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BackoffSchedule::BackoffSchedule(const RetryPolicy& policy) noexcept
+    : policy_(policy),
+      rng_(policy.seed),
+      current_ns_(static_cast<double>(policy.initial_backoff.count())) {}
+
+Nanoseconds BackoffSchedule::next() noexcept {
+  const double capped =
+      std::min(current_ns_, static_cast<double>(policy_.max_backoff.count()));
+  double jittered = capped;
+  if (policy_.jitter > 0.0 && capped > 0.0) {
+    const double u = rng_.next_double();
+    jittered = capped * (1.0 + policy_.jitter * (2.0 * u - 1.0));
+  }
+  current_ns_ = current_ns_ * policy_.backoff_multiplier;
+  return Nanoseconds(static_cast<std::int64_t>(std::max(jittered, 0.0)));
+}
+
+std::uint64_t retry_policy_revision() noexcept {
+  return g_policy_revision.load(std::memory_order_acquire);
+}
+
+void set_global_retry_policy(const RetryPolicy& policy) {
+  {
+    std::lock_guard lock(global_policy_mutex());
+    global_policy_slot() = policy;
+  }
+  bump_revision();
+}
+
+void clear_global_retry_policy() { set_global_retry_policy(RetryPolicy{}); }
+
+void RetryOverride::set(const RetryPolicy& policy) {
+  {
+    std::lock_guard lock(mutex_);
+    policy_ = policy;
+  }
+  engaged_.store(true, std::memory_order_release);
+  bump_revision();
+}
+
+void RetryOverride::clear() {
+  engaged_.store(false, std::memory_order_release);
+  bump_revision();
+}
+
+RetryPolicy RetryOverride::get() const {
+  std::lock_guard lock(mutex_);
+  return policy_;
+}
+
+RetryPolicy resolve_retry_policy(const RetryOverride& core,
+                                 const RetryOverride& context) {
+  if (core.overridden()) return core.get();
+  if (context.overridden()) return context.get();
+  std::lock_guard lock(global_policy_mutex());
+  return global_policy_slot();
+}
+
+}  // namespace ohpx::resilience

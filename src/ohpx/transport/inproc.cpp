@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/resilience/deadline.hpp"
 
 namespace ohpx::transport {
 
@@ -51,6 +52,9 @@ InProcChannel::InProcChannel(std::string endpoint)
 
 wire::Buffer InProcChannel::roundtrip(const wire::Buffer& request,
                                       CostLedger& ledger) {
+  if (resilience::deadline_expired(resilience::current_deadline_ns())) {
+    throw DeadlineExceeded("deadline exceeded before transport send");
+  }
   FrameHandler handler = EndpointRegistry::instance().lookup(endpoint_);
   ledger.add_bytes_sent(request.size());
   ScopedRealTime timer(ledger);

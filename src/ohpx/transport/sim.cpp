@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "ohpx/common/error.hpp"
+#include "ohpx/resilience/fault_plan.hpp"
+
 namespace ohpx::transport {
 
 SimChannel::SimChannel(std::string endpoint, LinkProvider link_provider)
@@ -15,8 +18,44 @@ wire::Buffer SimChannel::roundtrip(const wire::Buffer& request,
                                    CostLedger& ledger) {
   const netsim::LinkSpec link = link_provider_();
   ledger.add_modeled(link.transfer_time(request.size()));
+
+  resilience::FaultDecision fault;
+  auto& injector = resilience::FaultInjector::instance();
+  if (injector.active()) {
+    fault = injector.decide(inner_.endpoint());
+  }
+
+  switch (fault.kind) {
+    case resilience::FaultKind::drop:
+      // The frame dies on the simulated wire; the bound handler never runs.
+      throw TransportError(ErrorCode::transport_io,
+                           "fault injection: frame to '" + inner_.endpoint() +
+                               "' dropped");
+    case resilience::FaultKind::delay:
+      resilience::sleep_for(fault.delay);
+      ledger.add_modeled(fault.delay);
+      break;
+    case resilience::FaultKind::duplicate:
+      // The network delivered the request twice; the first reply is lost,
+      // the second is what the caller sees (server-side counters observe
+      // both deliveries).
+      (void)inner_.roundtrip(request, ledger);
+      break;
+    case resilience::FaultKind::none:
+    case resilience::FaultKind::corrupt:
+      break;
+  }
+
   wire::Buffer reply = inner_.roundtrip(request, ledger);
   ledger.add_modeled(link.transfer_time(reply.size()));
+
+  if (fault.kind == resilience::FaultKind::corrupt && reply.size() > 0) {
+    // Flip the last byte of the reply.  For a reply with a body that is a
+    // body byte (a checksum capability catches it); for a bare header it
+    // lands in the CRC field and framing catches it.  Either way the
+    // corruption is *detected*, never silently consumed.
+    reply.data()[reply.size() - 1] ^= 0xff;
+  }
   return reply;
 }
 

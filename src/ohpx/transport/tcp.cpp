@@ -12,6 +12,7 @@
 
 #include "ohpx/common/error.hpp"
 #include "ohpx/common/log.hpp"
+#include "ohpx/resilience/deadline.hpp"
 
 namespace ohpx::transport {
 namespace {
@@ -230,6 +231,24 @@ TcpChannel::~TcpChannel() {
 wire::Buffer TcpChannel::roundtrip(const wire::Buffer& request,
                                    CostLedger& ledger) {
   std::lock_guard lock(io_mutex_);
+  // Honor the ambient deadline on a real socket: refuse a send whose
+  // budget is spent, and bound the reply wait by the remaining budget so
+  // a stuck server cannot hold the caller past its deadline.
+  const std::int64_t deadline = resilience::current_deadline_ns();
+  if (resilience::deadline_expired(deadline)) {
+    throw DeadlineExceeded("deadline exceeded before transport send");
+  }
+  if (deadline != resilience::kNoDeadline) {
+    const auto remaining = resilience::deadline_remaining(deadline);
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(remaining.count() / 1'000'000'000);
+    tv.tv_usec = static_cast<suseconds_t>((remaining.count() / 1000) % 1'000'000);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  } else {
+    timeval tv{};  // zero = no timeout
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   ledger.add_bytes_sent(request.size());
   ScopedRealTime timer(ledger);
   tcp_write_frame(fd_, request);

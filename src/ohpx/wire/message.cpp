@@ -56,7 +56,7 @@ Buffer encode_frame(const MessageHeader& header, BytesView body) {
 
 void encode_frame_into(Buffer& out, const MessageHeader& header,
                        BytesView body) {
-  std::uint8_t raw[kHeaderSize + kTraceExtensionSize];
+  std::uint8_t raw[kHeaderSize + kTraceExtensionSize + kDeadlineExtensionSize];
   store_be32(raw, kFrameMagic);
   raw[4] = kWireVersion;
   raw[5] = static_cast<std::uint8_t>(header.type);
@@ -72,6 +72,10 @@ void encode_frame_into(Buffer& out, const MessageHeader& header,
     store_be64(raw + 48, header.trace_parent_span);
     raw[56] = header.trace_flags;
     prefix += kTraceExtensionSize;
+  }
+  if (header.has_deadline()) {
+    store_be64(raw + prefix, static_cast<std::uint64_t>(header.deadline_ns));
+    prefix += kDeadlineExtensionSize;
   }
   out.clear();
   out.reserve(prefix + body.size());
@@ -117,6 +121,15 @@ MessageHeader decode_frame(BytesView frame, BytesView& body) {
     header.trace_parent_span = load_be64(raw + 48);
     header.trace_flags = raw[56];
     prefix += kTraceExtensionSize;
+  }
+  if (header.has_deadline()) {
+    if (frame.size() < prefix + kDeadlineExtensionSize) {
+      throw WireError(ErrorCode::wire_truncated,
+                      "frame shorter than deadline extension");
+    }
+    header.deadline_ns =
+        static_cast<std::int64_t>(load_be64(raw + prefix));
+    prefix += kDeadlineExtensionSize;
   }
   body = frame.subspan(prefix);
   return header;

@@ -28,6 +28,13 @@
 // cannot corrupt a call) and is skipped before capability/glue processing,
 // which only ever sees the body.
 //
+// When kFlagDeadline is set, an 8-byte deadline extension follows the
+// trace extension (or the fixed header when no trace context is carried):
+// the call's absolute deadline in nanoseconds on the resilience clock
+// (ohpx/resilience/clock.hpp), 0 meaning unbounded.  Like the trace
+// extension it is advisory and outside the CRC; the server tightens its
+// dispatch budget against it, it never loosens anything.
+//
 // The body of an error reply is { u32 error-code, string message } so the
 // client can rethrow the server-side failure with full fidelity.
 #pragma once
@@ -43,6 +50,7 @@ inline constexpr std::uint32_t kFrameMagic = 0x4f485058;  // "OHPX"
 inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderSize = 32;
 inline constexpr std::size_t kTraceExtensionSize = 25;
+inline constexpr std::size_t kDeadlineExtensionSize = 8;
 
 enum class MessageType : std::uint8_t {
   request = 1,
@@ -57,6 +65,7 @@ enum class MessageType : std::uint8_t {
 enum : std::uint16_t {
   kFlagGlueProcessed = 1u << 0,
   kFlagTraceContext = 1u << 1,
+  kFlagDeadline = 1u << 2,
 };
 
 enum : std::uint8_t {
@@ -78,8 +87,16 @@ struct MessageHeader {
   std::uint64_t trace_parent_span = 0;
   std::uint8_t trace_flags = 0;
 
+  // Deadline extension (meaningful iff flags & kFlagDeadline): absolute
+  // nanoseconds on the resilience clock, 0 = unbounded.
+  std::int64_t deadline_ns = 0;
+
   bool has_trace() const noexcept {
     return (flags & kFlagTraceContext) != 0;
+  }
+
+  bool has_deadline() const noexcept {
+    return (flags & kFlagDeadline) != 0;
   }
 
   friend bool operator==(const MessageHeader&, const MessageHeader&) = default;

@@ -3,6 +3,7 @@
 // descriptor exchange through the registry, and chain composition order.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "ohpx/capability/builtin/audit.hpp"
@@ -342,7 +343,7 @@ TEST(Lease, AdmitsWhileFreshThenExpires) {
   LeaseCapability lease(std::chrono::milliseconds(60));
   EXPECT_NO_THROW(lease.admit(make_call()));
   EXPECT_FALSE(lease.expired());
-  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));  // ohpx-lint: allow-wall-clock (lease TTLs run on the steady clock)
   EXPECT_TRUE(lease.expired());
   try {
     lease.admit(make_call());
@@ -380,7 +381,7 @@ TEST(RateLimit, RefillsOverTime) {
   RateLimitCapability limiter(/*rate_per_sec=*/200.0, /*burst=*/1.0);
   limiter.admit(make_call());
   EXPECT_THROW(limiter.admit(make_call()), CapabilityDenied);
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // ohpx-lint: allow-wall-clock (token-bucket refill runs on the steady clock)
   EXPECT_NO_THROW(limiter.admit(make_call()));
 }
 
@@ -390,6 +391,107 @@ TEST(RateLimit, RepliesNotCounted) {
   limiter.admit(make_call(1, Direction::request));
   EXPECT_THROW(limiter.admit(make_call(2, Direction::request)),
                CapabilityDenied);
+}
+
+// ---- fault injection --------------------------------------------------------------
+
+// Drives `count` request admits and records which ordinals were refused.
+std::vector<bool> refusal_pattern(FaultCapability& fault, std::uint64_t count) {
+  std::vector<bool> refused;
+  for (std::uint64_t i = 1; i <= count; ++i) {
+    try {
+      fault.admit(make_call(i));
+      refused.push_back(false);
+    } catch (const CapabilityDenied&) {
+      refused.push_back(true);
+    }
+  }
+  return refused;
+}
+
+TEST(Fault, CountersStayConsistentAtEveryObservationPoint) {
+  FaultCapability fault(3u);  // refuse every 3rd request
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    try {
+      fault.admit(make_call(i));
+    } catch (const CapabilityDenied& e) {
+      EXPECT_EQ(e.code(), ErrorCode::capability_denied);
+    }
+    EXPECT_EQ(fault.admitted() + fault.refused(), i)
+        << "admitted + refused must equal requests seen, always";
+  }
+  EXPECT_EQ(fault.admitted(), 6u);
+  EXPECT_EQ(fault.refused(), 3u);
+}
+
+TEST(Fault, RepliesAreNeitherCountedNorRefused) {
+  FaultCapability fault(1u);  // refuses every request...
+  EXPECT_NO_THROW(fault.admit(make_call(1, Direction::reply)));
+  EXPECT_EQ(fault.admitted(), 0u);
+  EXPECT_EQ(fault.refused(), 0u);
+  EXPECT_THROW(fault.admit(make_call(1, Direction::request)),
+               CapabilityDenied);
+}
+
+TEST(Fault, RatioModeIsAPureFunctionOfSeedAndOrdinal) {
+  FaultSpec spec;
+  spec.refuse_ratio = 0.5;
+  spec.seed = 7;
+  FaultCapability first(spec);
+  FaultCapability second(spec);
+  const auto pattern = refusal_pattern(first, 100);
+  EXPECT_EQ(pattern, refusal_pattern(second, 100))
+      << "same (seed, ordinal) => same decision, any interleaving";
+
+  spec.seed = 8;
+  FaultCapability reseeded(spec);
+  EXPECT_NE(pattern, refusal_pattern(reseeded, 100));
+
+  const auto refusals = std::count(pattern.begin(), pattern.end(), true);
+  EXPECT_GT(refusals, 25);
+  EXPECT_LT(refusals, 75) << "a 0.5 ratio refuses roughly half";
+}
+
+TEST(Fault, ScriptedOrdinalsComposeWithTheModulo) {
+  FaultSpec spec;
+  spec.fail_every = 3;
+  spec.refuse_at = {2, 5};
+  FaultCapability fault(spec);
+  // Ordinals 1..6: the modulo refuses 3 and 6, the script refuses 2 and 5.
+  const std::vector<bool> expected = {false, true, true, false, true, true};
+  EXPECT_EQ(refusal_pattern(fault, 6), expected);
+  EXPECT_EQ(fault.admitted() + fault.refused(), 6u);
+}
+
+TEST(Fault, DescriptorRoundTripsTheFullSchedule) {
+  FaultSpec spec;
+  spec.fail_every = 4;
+  spec.refuse_ratio = 0.25;
+  spec.seed = 9;
+  spec.refuse_at = {1, 8};
+  FaultCapability original(spec);
+
+  const auto descriptor = original.descriptor();
+  EXPECT_EQ(descriptor.kind, "fault");
+  auto clone = FaultCapability::from_descriptor(descriptor);
+  auto* cloned = dynamic_cast<FaultCapability*>(clone.get());
+  ASSERT_NE(cloned, nullptr);
+
+  EXPECT_EQ(refusal_pattern(original, 32), refusal_pattern(*cloned, 32))
+      << "a reconstructed schedule refuses the exact same ordinals";
+  EXPECT_EQ(cloned->descriptor().params, descriptor.params);
+}
+
+TEST(Fault, RejectsDisengagedAndInvalidSchedules) {
+  try {
+    FaultCapability fault{FaultSpec{}};
+    FAIL() << "a schedule with no engaged mode refuses nothing";
+  } catch (const CapabilityDenied& e) {
+    EXPECT_EQ(e.code(), ErrorCode::capability_bad_payload);
+  }
+  FaultSpec bad_ratio;
+  bad_ratio.refuse_ratio = 1.5;
+  EXPECT_THROW(FaultCapability{bad_ratio}, CapabilityDenied);
 }
 
 // ---- audit -----------------------------------------------------------------------

@@ -117,7 +117,7 @@ TEST(ScopedRealTimeTest, AddsElapsedTime) {
   CostLedger ledger;
   {
     ScopedRealTime timer(ledger);
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // ohpx-lint: allow-wall-clock (CostLedger real-time accounting needs real time)
   }
   EXPECT_GE(ledger.real().count(), 1'000'000);
   EXPECT_EQ(ledger.modeled().count(), 0);
@@ -125,7 +125,7 @@ TEST(ScopedRealTimeTest, AddsElapsedTime) {
 
 TEST(StopwatchTest, MonotoneAndResettable) {
   Stopwatch watch;
-  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // ohpx-lint: allow-wall-clock (Stopwatch measures the steady clock itself)
   const auto first = watch.elapsed();
   EXPECT_GT(first.count(), 0);
   watch.reset();

@@ -73,7 +73,7 @@ TEST_F(PaperClaims, S1_TimeLimitedAccess) {
                  .build();
   EchoPointer gp(*local_ctx_, ref);
   EXPECT_NO_THROW(gp->ping());
-  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));  // ohpx-lint: allow-wall-clock (lease TTLs run on the steady clock)
   EXPECT_THROW(gp->ping(), CapabilityDenied);
 }
 

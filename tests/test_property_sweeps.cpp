@@ -11,8 +11,13 @@
 #include "ohpx/capability/builtin/checksum.hpp"
 #include "ohpx/capability/builtin/compression.hpp"
 #include "ohpx/capability/builtin/encryption.hpp"
+#include "ohpx/capability/builtin/fault.hpp"
+#include "ohpx/capability/builtin/lease.hpp"
 #include "ohpx/capability/builtin/quota.hpp"
 #include "ohpx/common/rng.hpp"
+#include "ohpx/metrics/metrics.hpp"
+#include "ohpx/resilience/fault_plan.hpp"
+#include "ohpx/resilience/retry.hpp"
 #include "ohpx/orb/ref_builder.hpp"
 #include "ohpx/runtime/migration.hpp"
 #include "ohpx/scenario/counter.hpp"
@@ -228,6 +233,145 @@ TEST_P(MigrationChurn, CounterSurvivesRandomHops) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationChurn,
                          ::testing::Values(7, 77, 777, 7777));
+
+// ---- retry invariant: attempts never exceed the policy ----------------------------
+
+std::uint64_t retries_counter() {
+  return metrics::MetricsRegistry::global().counter("rmi.retries");
+}
+
+struct RetryCase {
+  int max_attempts;
+  int consecutive_drops;
+};
+
+std::string retry_case_name(const ::testing::TestParamInfo<RetryCase>& info) {
+  return "max" + std::to_string(info.param.max_attempts) + "_drops" +
+         std::to_string(info.param.consecutive_drops);
+}
+
+class RetrySweep : public ::testing::TestWithParam<RetryCase> {};
+
+// For every (policy, fault-schedule) pair: wire attempts for one logical
+// call never exceed policy.max_attempts — the call either outlasts the
+// scripted drops or gives up exactly at the budget, never later.
+TEST_P(RetrySweep, AttemptsAreBoundedByThePolicy) {
+  const auto param = GetParam();
+  runtime::World world;
+  const auto lan = world.add_lan("lan");
+  orb::Context& client = world.create_context(world.add_machine("client", lan));
+  orb::Context& server = world.create_context(world.add_machine("server", lan));
+  EchoPointer gp(client,
+                 orb::RefBuilder(server, std::make_shared<EchoServant>())
+                     .nexus()
+                     .build());
+  resilience::RetryPolicy policy;
+  policy.max_attempts = param.max_attempts;
+  gp->set_retry_policy(policy);
+
+  resilience::ScopedFaultPlan plan;
+  resilience::FaultSchedule schedule;
+  for (int i = 0; i < param.consecutive_drops; ++i) {
+    schedule.scripted.emplace_back(static_cast<std::uint64_t>(i),
+                                   resilience::FaultKind::drop);
+  }
+  plan.add(server.endpoint_name(), schedule);
+
+  if (param.consecutive_drops < param.max_attempts) {
+    EXPECT_EQ(gp->ping(), 1u) << "the policy outlasts the drops";
+    EXPECT_EQ(resilience::FaultInjector::instance().call_count(
+                  server.endpoint_name()),
+              static_cast<std::uint64_t>(param.consecutive_drops) + 1);
+  } else {
+    EXPECT_THROW(gp->ping(), TransportError);
+    EXPECT_EQ(resilience::FaultInjector::instance().call_count(
+                  server.endpoint_name()),
+              static_cast<std::uint64_t>(param.max_attempts))
+        << "gave up exactly at the attempt budget, not one call later";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyBySchedule, RetrySweep,
+    ::testing::Values(RetryCase{1, 0}, RetryCase{1, 1}, RetryCase{2, 1},
+                      RetryCase{2, 2}, RetryCase{3, 2}, RetryCase{3, 6},
+                      RetryCase{6, 5}, RetryCase{8, 8}),
+    retry_case_name);
+
+// The same bound holds per logical call under seeded (rate-based) fault
+// schedules: observed attempts = 1 + the rmi.retries delta for that call.
+TEST(RetrySweepRates, EveryCallStaysWithinTheAttemptBudget) {
+  for (const int max_attempts : {1, 2, 4}) {
+    runtime::World world;
+    const auto lan = world.add_lan("lan");
+    orb::Context& client =
+        world.create_context(world.add_machine("client", lan));
+    orb::Context& server =
+        world.create_context(world.add_machine("server", lan));
+    EchoPointer gp(client,
+                   orb::RefBuilder(server, std::make_shared<EchoServant>())
+                       .nexus()
+                       .build());
+    resilience::RetryPolicy policy;
+    policy.max_attempts = max_attempts;
+    gp->set_retry_policy(policy);
+
+    resilience::ScopedFaultPlan plan;
+    resilience::FaultSchedule schedule;
+    schedule.drop_rate = 0.4;
+    schedule.seed = 0xabcULL + static_cast<std::uint64_t>(max_attempts);
+    plan.add(server.endpoint_name(), schedule);
+
+    for (int call = 0; call < 60; ++call) {
+      const std::uint64_t before = retries_counter();
+      try {
+        gp->ping();
+      } catch (const TransportError&) {
+        // An exhausted budget is fine; exceeding it is not.
+      }
+      const std::uint64_t attempts = retries_counter() - before + 1;
+      ASSERT_LE(attempts, static_cast<std::uint64_t>(max_attempts))
+          << "call " << call << " under max_attempts=" << max_attempts;
+    }
+  }
+}
+
+// Non-retryable refusals — an injected capability fault, an exhausted
+// quota, an expired lease — are answers, not accidents: exactly one
+// attempt, zero retries, regardless of how generous the policy is.
+TEST(RetrySweepRates, NonRetryableRefusalsAreNeverRetried) {
+  struct Refusal {
+    const char* name;
+    cap::CapabilityPtr capability;
+  };
+  const std::vector<Refusal> refusals = {
+      {"fault", std::make_shared<cap::FaultCapability>(1u)},
+      {"quota", std::make_shared<cap::QuotaCapability>(0u)},
+      {"lease",
+       std::make_shared<cap::LeaseCapability>(std::chrono::milliseconds(0))},
+  };
+
+  for (const auto& refusal : refusals) {
+    runtime::World world;
+    const auto lan = world.add_lan("lan");
+    orb::Context& client =
+        world.create_context(world.add_machine("client", lan));
+    orb::Context& server =
+        world.create_context(world.add_machine("server", lan));
+    EchoPointer gp(client,
+                   orb::RefBuilder(server, std::make_shared<EchoServant>())
+                       .glue({refusal.capability})
+                       .build());
+    resilience::RetryPolicy generous;
+    generous.max_attempts = 6;
+    gp->set_retry_policy(generous);
+
+    const std::uint64_t before = retries_counter();
+    EXPECT_THROW(gp->ping(), CapabilityDenied) << refusal.name;
+    EXPECT_EQ(retries_counter(), before)
+        << refusal.name << ": a refusal of authority must not be retried";
+  }
+}
 
 }  // namespace
 }  // namespace ohpx

@@ -199,7 +199,7 @@ TEST(MigrationChaos, CallsSurviveConcurrentMigrations) {
           // A racing migration may observe the object mid-move; benign.
         }
       }
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));  // ohpx-lint: allow-wall-clock (paces a real migration race)
     }
   });
 

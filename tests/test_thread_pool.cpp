@@ -51,7 +51,7 @@ TEST(ThreadPoolTest, ParallelismActuallyHappens) {
       int expected = peak.load();
       while (now > expected && !peak.compare_exchange_weak(expected, now)) {
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));  // ohpx-lint: allow-wall-clock (holds pool threads busy for real)
       --inside;
     }));
   }

@@ -31,6 +31,14 @@ Checks (each also exercised by --self-test):
                      src/ohpx/capability/ — SpanRecord stores a bounded
                      copy of a string literal; dynamic detail goes in the
                      annotation (mirror of the metric-handles rule)
+  no-test-sleeps     no wall-clock waits (std::this_thread::sleep_for /
+                     sleep_until, sleep/usleep/nanosleep) in tests/ —
+                     time-dependent tests install a resilience ManualClock
+                     and advance virtual time instead, so the suite stays
+                     fast and deterministic.  A genuinely wall-clock test
+                     (thread-pool timing, lease TTLs against the steady
+                     clock) marks the line with
+                     `// ohpx-lint: allow-wall-clock (reason)`
 
 Usage:
   python3 tools/ohpx_lint.py [--root REPO_ROOT]   # lint the repo, exit 0/1
@@ -84,7 +92,8 @@ def strip_comments_and_strings(text: str) -> str:
             j = i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
-            out.append(" " * (min(j, n - 1) + 1 - i))
+            segment = text[i : min(j, n - 1) + 1]
+            out.append("".join(ch if ch == "\n" else " " for ch in segment))
             i = j + 1
         else:
             out.append(c)
@@ -326,10 +335,39 @@ class Linter:
                             "literal and put dynamic detail in the "
                             "annotation")
 
+    # Wall-clock waits banned from tests/: this_thread sleeps and the C
+    # sleep family.  resilience::sleep_for is fine — under a ManualClock it
+    # is a pure virtual-time advance, which is exactly the point.
+    SLEEP_RE = re.compile(
+        r"this_thread\s*::\s*sleep_(?:for|until)\s*\("
+        r"|(?<![\w:])u?sleep\s*\("
+        r"|(?<![\w:])nanosleep\s*\(")
+    SLEEP_ALLOW_MARKER = "ohpx-lint: allow-wall-clock"
+
+    def check_no_test_sleeps(self) -> None:
+        tests = self.root / "tests"
+        if not tests.is_dir():
+            return
+        for source in sorted(tests.rglob("*.[ch]pp")):
+            text = source.read_text(encoding="utf-8", errors="replace")
+            raw_lines = text.splitlines()
+            clean = strip_comments_and_strings(text)
+            for lineno, line in enumerate(clean.splitlines(), 1):
+                if not self.SLEEP_RE.search(line):
+                    continue
+                if self.SLEEP_ALLOW_MARKER in raw_lines[lineno - 1]:
+                    continue
+                self.report(
+                    source, lineno, "no-test-sleeps",
+                    "wall-clock wait in tests/ — install a resilience "
+                    "ManualClock and advance virtual time, or append "
+                    "`// ohpx-lint: allow-wall-clock (reason)`")
+
     # -- driver -------------------------------------------------------------
 
     CHECKS = ("pragma_once", "no_stdio", "no_naked_new", "cmake_lists",
-              "cap_pairs", "chain_contract", "metric_handles", "span_names")
+              "cap_pairs", "chain_contract", "metric_handles", "span_names",
+              "no_test_sleeps")
 
     def run(self) -> int:
         for check in self.CHECKS:
@@ -476,6 +514,16 @@ def self_test() -> int:
              "void f(const std::string& why) {\n"
              '  trace::event(("retry." + why).c_str(), "");\n'
              "}\n")),
+        ("no-test-sleeps",
+         lambda r: _write_in(r / "tests" / "test_sleepy.cpp",
+             "#include <thread>\n"
+             "void f() {\n"
+             "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+             "}\n")),
+        ("no-test-sleeps",
+         lambda r: _write_in(r / "tests" / "test_usleep.cpp",
+             "#include <unistd.h>\n"
+             "void f() { usleep(100); }\n")),
     ]
 
     # 2. Each injected violation is caught under the right rule.
@@ -531,12 +579,27 @@ def self_test() -> int:
         expect(not violations,
                f"span-names false positive: {violations}")
 
+    # 6. no-test-sleeps: the resilience clock, virtual-time advances, and
+    #    explicitly marked wall-clock waits all pass.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = _make_tree(Path(tmp))
+        _write_in(root / "tests" / "test_clocked.cpp",
+                  "void f(resilience::ManualClock& clock) {\n"
+                  "  resilience::sleep_for(std::chrono::milliseconds(5));\n"
+                  "  clock.advance(std::chrono::milliseconds(5));\n"
+                  "  std::this_thread::sleep_for(kTick);"
+                  "  // ohpx-lint: allow-wall-clock (thread-pool timing)\n"
+                  "}\n")
+        violations = [v for v in _lint_collect(root) if "no-test-sleeps" in v]
+        expect(not violations,
+               f"no-test-sleeps false positive: {violations}")
+
     if failures:
         for failure in failures:
             print(f"SELF-TEST FAIL: {failure}")
         return 1
     print(f"ohpx-lint self-test: OK "
-          f"({1 + len(injections) + 3} fixtures verified)")
+          f"({1 + len(injections) + 4} fixtures verified)")
     return 0
 
 
