@@ -1,5 +1,7 @@
 #include "ohpx/capability/builtin/audit.hpp"
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::cap {
 
 AuditCapability::AuditCapability(std::size_t max_records)
@@ -7,7 +9,7 @@ AuditCapability::AuditCapability(std::size_t max_records)
 
 void AuditCapability::record(const wire::Buffer& payload,
                              const CallContext& call) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   ++total_;
   records_.push_back(AuditRecord{call.request_id, call.object_id,
                                  call.method_id, call.direction,
@@ -24,12 +26,12 @@ void AuditCapability::unprocess(wire::Buffer& payload, const CallContext& call) 
 }
 
 std::vector<AuditRecord> AuditCapability::records() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return std::vector<AuditRecord>(records_.begin(), records_.end());
 }
 
 std::uint64_t AuditCapability::total_calls() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return total_;
 }
 

@@ -6,11 +6,11 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "ohpx/capability/capability.hpp"
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::cap {
 
@@ -40,7 +40,7 @@ class AuditCapability final : public Capability {
   void record(const wire::Buffer& payload, const CallContext& call);
 
   std::size_t max_records_;
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"cap.audit"};
   std::deque<AuditRecord> records_ OHPX_GUARDED_BY(mutex_);
   std::uint64_t total_ OHPX_GUARDED_BY(mutex_) = 0;
 };

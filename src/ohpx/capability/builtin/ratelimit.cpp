@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::cap {
 
@@ -22,7 +23,7 @@ void RateLimitCapability::refill_locked() {
 
 void RateLimitCapability::admit(const CallContext& call) {
   if (call.direction != Direction::request) return;
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   refill_locked();
   if (tokens_ < 1.0) {
     throw CapabilityDenied(ErrorCode::capability_denied,
@@ -42,7 +43,7 @@ void RateLimitCapability::unprocess(wire::Buffer& payload, const CallContext& ca
 }
 
 double RateLimitCapability::tokens() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const_cast<RateLimitCapability*>(this)->refill_locked();
   return tokens_;
 }

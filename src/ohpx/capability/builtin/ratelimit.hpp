@@ -4,10 +4,10 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 
 #include "ohpx/capability/capability.hpp"
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::cap {
 
@@ -30,7 +30,7 @@ class RateLimitCapability final : public Capability {
 
   double rate_per_sec_;
   double burst_;
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"cap.ratelimit"};
   double tokens_ OHPX_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point last_refill_ OHPX_GUARDED_BY(mutex_);
 };

@@ -12,6 +12,7 @@
 #include "ohpx/capability/builtin/quota.hpp"
 #include "ohpx/capability/builtin/ratelimit.hpp"
 #include "ohpx/common/error.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::cap {
 
@@ -36,17 +37,17 @@ CapabilityRegistry::CapabilityRegistry() {
 
 void CapabilityRegistry::register_factory(const std::string& kind,
                                           CapabilityFactory factory) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   factories_[kind] = std::move(factory);
 }
 
 bool CapabilityRegistry::contains(const std::string& kind) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return factories_.contains(kind);
 }
 
 std::vector<std::string> CapabilityRegistry::kinds() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [kind, factory] : factories_) out.push_back(kind);
@@ -57,7 +58,7 @@ CapabilityPtr CapabilityRegistry::instantiate(
     const CapabilityDescriptor& descriptor) const {
   CapabilityFactory factory;
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     const auto it = factories_.find(descriptor.kind);
     if (it == factories_.end()) {
       throw CapabilityDenied(ErrorCode::capability_unknown,

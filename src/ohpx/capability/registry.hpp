@@ -7,13 +7,13 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ohpx/capability/capability.hpp"
 #include "ohpx/capability/chain.hpp"
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::cap {
 
@@ -42,7 +42,7 @@ class CapabilityRegistry {
  private:
   CapabilityRegistry();
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"cap.registry"};
   std::map<std::string, CapabilityFactory> factories_ OHPX_GUARDED_BY(mutex_);
 };
 

@@ -5,12 +5,15 @@
 // only holds if every shared member is provably reached under its lock.
 // These macros let the code state that contract where the data lives:
 //
-//   mutable std::mutex mutex_;
+//   mutable sync::Mutex mutex_{"layer.component"};
 //   std::deque<Task> queue_ OHPX_GUARDED_BY(mutex_);
 //
-// Under Clang, `-Wthread-safety` (wired up in the top-level CMakeLists
-// when the compiler supports it) turns the declarations into compile-time
-// checks; under GCC and MSVC they expand to nothing and cost nothing.
+// Under Clang, `-Wthread-safety` (promoted to an error by the top-level
+// CMakeLists when the compiler supports it) turns the declarations into
+// compile-time checks; under GCC and MSVC they expand to nothing and cost
+// nothing.  Always lock through the ohpx::sync wrappers
+// (ohpx/sync/mutex.hpp): the standard guards carry no annotations, so a
+// raw std::lock_guard is invisible to the analysis.
 // See docs/static_analysis.md for the conventions used across the repo.
 #pragma once
 
@@ -20,8 +23,8 @@
 #define OHPX_THREAD_ANNOTATION(x)  // no-op off Clang
 #endif
 
-/// Declares a type to be a lockable capability (rare: std::mutex already
-/// is one under libc++; use for custom lock wrappers).
+/// Declares a type to be a lockable capability (used by the ohpx::sync
+/// wrappers; rarely needed elsewhere).
 #define OHPX_CAPABILITY(x) OHPX_THREAD_ANNOTATION(capability(x))
 
 /// Member is only read/written while `x` is held.
@@ -34,6 +37,11 @@
 #define OHPX_REQUIRES(...) \
   OHPX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
 
+/// Function must be called with at least a shared (reader) hold on the
+/// given lock(s).
+#define OHPX_REQUIRES_SHARED(...) \
+  OHPX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
 /// Function must be called with the given lock(s) NOT held (it acquires
 /// them itself; calling with them held would deadlock).
 #define OHPX_EXCLUDES(...) OHPX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
@@ -42,9 +50,31 @@
 #define OHPX_ACQUIRE(...) \
   OHPX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
 
+/// Function acquires a shared (reader) hold and returns holding it.
+#define OHPX_ACQUIRE_SHARED(...) \
+  OHPX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
 /// Function releases a lock the caller held.
 #define OHPX_RELEASE(...) \
   OHPX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a shared (reader) hold the caller had.
+#define OHPX_RELEASE_SHARED(...) \
+  OHPX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the lock; the first argument is the return value that
+/// means "acquired" (e.g. OHPX_TRY_ACQUIRE(true) on a bool try_lock()).
+#define OHPX_TRY_ACQUIRE(...) \
+  OHPX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-hold variant of OHPX_TRY_ACQUIRE.
+#define OHPX_TRY_ACQUIRE_SHARED(...) \
+  OHPX_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Asserts (at runtime, by contract) that the calling thread already holds
+/// the capability — the analysis believes it from here on.
+#define OHPX_ASSERT_CAPABILITY(x) \
+  OHPX_THREAD_ANNOTATION(assert_capability(x))
 
 /// Scoped lock type (lock_guard-style RAII wrappers).
 #define OHPX_SCOPED_CAPABILITY OHPX_THREAD_ANNOTATION(scoped_lockable)

@@ -3,13 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::warn)};
-std::mutex g_emit_mutex;
+sync::Mutex g_emit_mutex{"log.emit"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -40,7 +41,7 @@ void emit(LogLevel level, std::string_view component, const std::string& message
   const auto now = duration_cast<milliseconds>(
                        steady_clock::now().time_since_epoch())
                        .count();
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  sync::LockGuard lock(g_emit_mutex);
   std::fprintf(stderr, "[%10lld.%03lld] %s [%.*s] %s\n",
                static_cast<long long>(now / 1000),
                static_cast<long long>(now % 1000), level_name(level),

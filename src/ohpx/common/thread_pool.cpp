@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx {
 
@@ -18,14 +19,14 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     stopping_ = true;
     queue_.clear();
   }
   wake_.notify_all();
   // joinable() flips as threads are joined, so concurrent shutdown callers
   // must not both walk the vector; the first to arrive does the joining.
-  std::lock_guard join_lock(join_mutex_);
+  sync::LockGuard join_lock(join_mutex_);
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -33,7 +34,7 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     if (stopping_) {
       throw Error(ErrorCode::internal, "thread pool is shutting down");
     }
@@ -43,7 +44,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return queue_.size();
 }
 
@@ -56,8 +57,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      sync::UniqueLock lock(mutex_);
+      // Explicit predicate loop (not the lambda overload): the thread-safety
+      // analysis cannot see through the wait-predicate closure, and the loop
+      // keeps queue_/stopping_ accesses visibly under the lock.
+      while (!stopping_ && queue_.empty()) wake_.wait(lock.native());
       if (stopping_) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -7,12 +7,12 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx {
 
@@ -58,11 +58,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"common.thread_pool"};
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_ OHPX_GUARDED_BY(mutex_);
   bool stopping_ OHPX_GUARDED_BY(mutex_) = false;
-  std::mutex join_mutex_;  // serializes concurrent shutdown() joiners
+  // serializes concurrent shutdown() joiners
+  sync::Mutex join_mutex_{"common.thread_pool.join"};
   std::vector<std::thread> workers_;  // laid down in the constructor; only
                                       // joined (under join_mutex_) after
 };

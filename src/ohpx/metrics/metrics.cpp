@@ -4,6 +4,8 @@
 #include <memory>
 #include <sstream>
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::metrics {
 namespace {
 
@@ -78,14 +80,14 @@ MetricsRegistry& MetricsRegistry::global() {
 
 MetricsRegistry::Counter* MetricsRegistry::counter_handle(
     const std::string& name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>(0);
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::latency_handle(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
@@ -96,7 +98,7 @@ void MetricsRegistry::increment(const std::string& name, std::uint64_t delta) {
 }
 
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0
                                : it->second->load(std::memory_order_relaxed);
@@ -109,13 +111,13 @@ void MetricsRegistry::record_latency(const std::string& name,
 
 const LatencyHistogram* MetricsRegistry::histogram(
     const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, cell] : counters_) {
     snap.counters[name] = cell->load(std::memory_order_relaxed);
@@ -132,7 +134,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   // Zero in place: handles returned by counter_handle/latency_handle must
   // survive a reset (hot paths resolve them once and never again).
   for (auto& [name, cell] : counters_) {

@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/common/clock.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::metrics {
 
@@ -100,7 +100,7 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"metrics.registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       OHPX_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_

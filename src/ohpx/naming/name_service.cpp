@@ -1,5 +1,7 @@
 #include "ohpx/naming/name_service.hpp"
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::naming {
 
 void NameServiceServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
@@ -41,7 +43,7 @@ void NameServiceServant::bind(const std::string& name,
     throw ObjectError(ErrorCode::bad_object_ref,
                       "cannot bind an invalid reference");
   }
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (!rebind && entries_.contains(name)) {
     throw ObjectError(ErrorCode::bad_object_ref,
                       "name '" + name + "' is already bound");
@@ -51,20 +53,20 @@ void NameServiceServant::bind(const std::string& name,
 
 std::optional<orb::ObjectRef> NameServiceServant::resolve(
     const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return std::nullopt;
   return orb::ObjectRef::from_bytes(it->second);
 }
 
 bool NameServiceServant::unbind(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return entries_.erase(name) != 0;
 }
 
 std::vector<std::string> NameServiceServant::list(
     const std::string& prefix) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [name, raw] : entries_) {
     if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
@@ -73,7 +75,7 @@ std::vector<std::string> NameServiceServant::list(
 }
 
 std::size_t NameServiceServant::size() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return entries_.size();
 }
 

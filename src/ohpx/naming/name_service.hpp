@@ -15,7 +15,6 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +24,7 @@
 #include "ohpx/orb/ref_builder.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/orb/stub.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::naming {
 
@@ -54,7 +54,7 @@ class NameServiceServant final : public orb::Servant {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"naming.directory"};
   std::map<std::string, Bytes> entries_ OHPX_GUARDED_BY(mutex_);
 };
 

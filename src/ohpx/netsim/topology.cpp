@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::netsim {
 
 using std::chrono::microseconds;
@@ -25,14 +27,14 @@ LinkSpec loopback() {
 Topology::Topology() : default_wan_(wan_t3()), loopback_(loopback()) {}
 
 LanId Topology::add_lan(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const LanId id = static_cast<LanId>(lans_.size());
   lans_.push_back(Lan{name, fast_ethernet_100(), id});
   return id;
 }
 
 MachineId Topology::add_machine(const std::string& name, LanId lan) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (lan >= lans_.size()) {
     throw Error(ErrorCode::internal, "add_machine: unknown LAN");
   }
@@ -41,96 +43,96 @@ MachineId Topology::add_machine(const std::string& name, LanId lan) {
 }
 
 std::size_t Topology::lan_count() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return lans_.size();
 }
 
 std::size_t Topology::machine_count() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return machines_.size();
 }
 
 const std::string& Topology::machine_name(MachineId m) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(m);
   return machines_[m].name;
 }
 
 const std::string& Topology::lan_name(LanId lan) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_lan(lan);
   return lans_[lan].name;
 }
 
 LanId Topology::lan_of(MachineId m) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(m);
   return machines_[m].lan;
 }
 
 bool Topology::has_machine(MachineId m) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return m < machines_.size();
 }
 
 bool Topology::same_machine(MachineId a, MachineId b) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(a);
   check_machine(b);
   return a == b;
 }
 
 bool Topology::same_lan(MachineId a, MachineId b) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(a);
   check_machine(b);
   return machines_[a].lan == machines_[b].lan;
 }
 
 bool Topology::same_campus(MachineId a, MachineId b) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(a);
   check_machine(b);
   return lans_[machines_[a].lan].campus == lans_[machines_[b].lan].campus;
 }
 
 void Topology::set_campus(LanId lan, std::uint32_t campus) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_lan(lan);
   lans_[lan].campus = campus;
 }
 
 std::uint32_t Topology::campus_of(LanId lan) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_lan(lan);
   return lans_[lan].campus;
 }
 
 void Topology::set_lan_link(LanId lan, LinkSpec spec) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_lan(lan);
   lans_[lan].link = std::move(spec);
 }
 
 void Topology::set_wan_link(LanId a, LanId b, LinkSpec spec) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_lan(a);
   check_lan(b);
   wan_links_[std::minmax(a, b)] = std::move(spec);
 }
 
 void Topology::set_default_wan_link(LinkSpec spec) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   default_wan_ = std::move(spec);
 }
 
 void Topology::set_loopback_link(LinkSpec spec) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   loopback_ = std::move(spec);
 }
 
 LinkSpec Topology::link_between(MachineId a, MachineId b) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(a);
   check_machine(b);
   if (a == b) return loopback_;
@@ -143,25 +145,25 @@ LinkSpec Topology::link_between(MachineId a, MachineId b) const {
 }
 
 void Topology::set_load(MachineId m, double load) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(m);
   machines_[m].load = load;
 }
 
 void Topology::add_load(MachineId m, double delta) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(m);
   machines_[m].load += delta;
 }
 
 double Topology::load(MachineId m) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_machine(m);
   return machines_[m].load;
 }
 
 MachineId Topology::least_loaded() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (machines_.empty()) {
     throw Error(ErrorCode::internal, "least_loaded: no machines");
   }

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/common/clock.hpp"
 #include "ohpx/common/error.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::netsim {
 
@@ -115,7 +115,7 @@ class Topology {
     std::uint32_t campus = 0;
   };
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"netsim.topology"};
   std::vector<Machine> machines_ OHPX_GUARDED_BY(mutex_);
   std::vector<Lan> lans_ OHPX_GUARDED_BY(mutex_);
   std::map<std::pair<LanId, LanId>, LinkSpec> wan_links_ OHPX_GUARDED_BY(mutex_);

@@ -6,6 +6,7 @@
 #include "ohpx/metrics/metrics.hpp"
 #include "ohpx/protocol/glue_wire.hpp"
 #include "ohpx/resilience/deadline.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/transport/inproc.hpp"
 #include "ohpx/wire/buffer_pool.hpp"
 
@@ -42,7 +43,7 @@ Context::~Context() {
   if (listener_) listener_->stop();
   // Forget the location of objects still hosted here; migrated-away
   // objects are someone else's to publish.
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   for (const auto& [object_id, servant] : servants_) {
     location_.remove(object_id);
   }
@@ -86,7 +87,7 @@ void Context::activate_with_id(ObjectId object_id, ServantPtr servant) {
     throw ObjectError(ErrorCode::internal, "activate: null servant");
   }
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     servants_[object_id] = std::move(servant);
   }
   location_.publish(object_id, current_address());
@@ -94,7 +95,7 @@ void Context::activate_with_id(ObjectId object_id, ServantPtr servant) {
 
 void Context::deactivate(ObjectId object_id, bool forget_location) {
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     servants_.erase(object_id);
   }
   if (forget_location) {
@@ -104,18 +105,18 @@ void Context::deactivate(ObjectId object_id, bool forget_location) {
 }
 
 ServantPtr Context::find_servant(ObjectId object_id) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = servants_.find(object_id);
   return it == servants_.end() ? nullptr : it->second;
 }
 
 bool Context::hosts(ObjectId object_id) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return servants_.contains(object_id);
 }
 
 std::vector<ObjectId> Context::hosted_objects() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::vector<ObjectId> out;
   out.reserve(servants_.size());
   for (const auto& [object_id, servant] : servants_) out.push_back(object_id);
@@ -136,13 +137,13 @@ void Context::register_glue_with_id(std::uint32_t glue_id, ObjectId object_id,
   binding->glue_id = glue_id;
   binding->object_id = object_id;
   binding->chain = std::move(chain);
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   glue_bindings_[glue_id] = std::move(binding);
 }
 
 std::vector<std::shared_ptr<GlueBinding>> Context::glue_bindings_of(
     ObjectId object_id) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::vector<std::shared_ptr<GlueBinding>> out;
   for (const auto& [glue_id, binding] : glue_bindings_) {
     if (binding->object_id == object_id) out.push_back(binding);
@@ -151,13 +152,13 @@ std::vector<std::shared_ptr<GlueBinding>> Context::glue_bindings_of(
 }
 
 std::shared_ptr<GlueBinding> Context::find_glue(std::uint32_t glue_id) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = glue_bindings_.find(glue_id);
   return it == glue_bindings_.end() ? nullptr : it->second;
 }
 
 void Context::remove_glue_of(ObjectId object_id) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   for (auto it = glue_bindings_.begin(); it != glue_bindings_.end();) {
     if (it->second->object_id == object_id) {
       it = glue_bindings_.erase(it);
@@ -168,7 +169,7 @@ void Context::remove_glue_of(ObjectId object_id) {
 }
 
 bool Context::revoke_glue(std::uint32_t glue_id) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return glue_bindings_.erase(glue_id) != 0;
 }
 

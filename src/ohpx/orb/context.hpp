@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/protocol/pool.hpp"
 #include "ohpx/resilience/retry.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/trace/trace.hpp"
 #include "ohpx/transport/tcp.hpp"
 #include "ohpx/wire/message.hpp"
@@ -169,7 +169,7 @@ class Context {
   std::string endpoint_;
   proto::ProtoPool pool_;
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"orb.context"};
   std::map<ObjectId, ServantPtr> servants_ OHPX_GUARDED_BY(mutex_);
   std::map<std::uint32_t, std::shared_ptr<GlueBinding>> glue_bindings_
       OHPX_GUARDED_BY(mutex_);

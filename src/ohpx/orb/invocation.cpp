@@ -6,6 +6,7 @@
 #include "ohpx/common/log.hpp"
 #include "ohpx/protocol/registry.hpp"
 #include "ohpx/protocol/select.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/wire/buffer_pool.hpp"
 
 namespace ohpx::orb {
@@ -57,7 +58,7 @@ std::string CallCore::probe_protocol() const {
 }
 
 void CallCore::set_breaker_config(const resilience::BreakerConfig& config) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (config.enabled()) {
     breakers_ =
         std::make_shared<resilience::BreakerSet>(protocols_.size(), config);
@@ -73,7 +74,7 @@ resilience::CircuitBreaker::State CallCore::breaker_state(
   if (!breakers_enabled_.load(std::memory_order_acquire)) {
     return resilience::CircuitBreaker::State::closed;
   }
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (!breakers_ || entry >= breakers_->size()) {
     return resilience::CircuitBreaker::State::closed;
   }
@@ -82,7 +83,7 @@ resilience::CircuitBreaker::State CallCore::breaker_state(
 
 std::shared_ptr<resilience::BreakerSet> CallCore::breaker_set() const {
   if (!breakers_enabled_.load(std::memory_order_relaxed)) return nullptr;
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return breakers_;
 }
 
@@ -91,7 +92,7 @@ int CallCore::max_attempts_now() {
   if (retry_revision_seen_.load(std::memory_order_acquire) != revision) {
     const resilience::RetryPolicy policy = resilience::resolve_retry_policy(
         retry_policy_, context_.retry_policy());
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     cached_policy_ = policy;
     cached_max_attempts_.store(policy.max_attempts,
                                std::memory_order_relaxed);
@@ -102,7 +103,7 @@ int CallCore::max_attempts_now() {
 
 resilience::RetryPolicy CallCore::retry_policy_now() {
   (void)max_attempts_now();  // refresh the memo if policies changed
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return cached_policy_;
 }
 
@@ -211,7 +212,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       version = context_.location().version();
       generation = context_.pool().generation();
       {
-        std::lock_guard lock(mutex_);
+        sync::LockGuard lock(mutex_);
         entry = cache_;
       }
       if (entry != nullptr && entry->pool_generation == generation) {
@@ -221,7 +222,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
           if (epoch == entry->location_epoch) {
             auto refreshed = std::make_shared<CachedSelection>(*entry);
             refreshed->location_version = version;
-            std::lock_guard lock(mutex_);
+            sync::LockGuard lock(mutex_);
             if (cache_ == entry) cache_ = std::move(refreshed);
           } else {
             entry = nullptr;  // our object moved: stale, re-select below
@@ -286,7 +287,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       std::string described = protocol->describe();
       proto_counter = registry.counter_handle("rmi.calls." +
                                               std::string(protocol->name()));
-      std::lock_guard lock(mutex_);
+      sync::LockGuard lock(mutex_);
       last_protocol_ = described;
       if (use_cache) {
         auto fresh = std::make_shared<CachedSelection>();
@@ -365,7 +366,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       reply = protocol->invoke(header, args, *target, cost);
     } catch (const DeadlineExceeded&) {
       {
-        std::lock_guard lock(mutex_);
+        sync::LockGuard lock(mutex_);
         cache_.reset();
       }
       deadline_exceeded_->fetch_add(1, std::memory_order_relaxed);
@@ -382,7 +383,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
         }
       }
       {
-        std::lock_guard lock(mutex_);
+        sync::LockGuard lock(mutex_);
         cache_.reset();
       }
       // Retry on transient channel faults under the retry policy: a
@@ -400,7 +401,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       throw;
     } catch (const Error& e) {
       {
-        std::lock_guard lock(mutex_);
+        sync::LockGuard lock(mutex_);
         cache_.reset();
       }
       // Client-side detection of a damaged exchange — a reply that fails
@@ -450,7 +451,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
         // stale references the republish that made us stale already
         // bumped the epoch, but drop the entry explicitly so the retry
         // always re-selects).
-        std::lock_guard lock(mutex_);
+        sync::LockGuard lock(mutex_);
         cache_.reset();
       }
       retries_->fetch_add(1, std::memory_order_relaxed);
@@ -473,7 +474,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
 }
 
 std::string CallCore::last_protocol() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return last_protocol_;
 }
 

@@ -22,7 +22,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "ohpx/resilience/breaker.hpp"
 #include "ohpx/resilience/deadline.hpp"
 #include "ohpx/resilience/retry.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/trace/trace.hpp"
 
 namespace ohpx::orb {
@@ -182,7 +182,7 @@ class CallCore {
   metrics::MetricsRegistry::Counter* breaker_closed_;
   metrics::LatencyHistogram* latency_;
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"orb.call_core"};
   std::shared_ptr<const CachedSelection> cache_ OHPX_GUARDED_BY(mutex_);
   std::string last_protocol_ OHPX_GUARDED_BY(mutex_);
   resilience::RetryPolicy cached_policy_ OHPX_GUARDED_BY(mutex_);

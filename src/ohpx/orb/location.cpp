@@ -1,10 +1,12 @@
 #include "ohpx/orb/location.hpp"
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::orb {
 
 void LocationService::publish(ObjectId object_id,
                               proto::ServerAddress address) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = addresses_.find(object_id);
   address.epoch = (it == addresses_.end()) ? 1 : it->second.epoch + 1;
   addresses_[object_id] = std::move(address);
@@ -13,27 +15,27 @@ void LocationService::publish(ObjectId object_id,
 
 std::optional<proto::ServerAddress> LocationService::resolve(
     ObjectId object_id) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = addresses_.find(object_id);
   if (it == addresses_.end()) return std::nullopt;
   return it->second;
 }
 
 void LocationService::remove(ObjectId object_id) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (addresses_.erase(object_id) != 0) {
     version_.fetch_add(1, std::memory_order_release);
   }
 }
 
 std::uint64_t LocationService::epoch_of(ObjectId object_id) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = addresses_.find(object_id);
   return it == addresses_.end() ? 0 : it->second.epoch;
 }
 
 std::size_t LocationService::size() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return addresses_.size();
 }
 

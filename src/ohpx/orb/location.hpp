@@ -9,11 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/protocol/target.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::orb {
 
@@ -46,7 +46,7 @@ class LocationService {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"orb.location"};
   std::map<ObjectId, proto::ServerAddress> addresses_ OHPX_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> version_{1};
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::proto {
 
 ProtoPool ProtoPool::standard() {
@@ -9,13 +11,13 @@ ProtoPool ProtoPool::standard() {
 }
 
 bool ProtoPool::allows(const std::string& protocol_name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return std::find(allowed_.begin(), allowed_.end(), protocol_name) !=
          allowed_.end();
 }
 
 void ProtoPool::enable(const std::string& protocol_name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (std::find(allowed_.begin(), allowed_.end(), protocol_name) ==
       allowed_.end()) {
     allowed_.push_back(protocol_name);
@@ -24,24 +26,24 @@ void ProtoPool::enable(const std::string& protocol_name) {
 }
 
 void ProtoPool::disable(const std::string& protocol_name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   if (std::erase(allowed_, protocol_name) != 0) bump_generation();
 }
 
 void ProtoPool::prefer(const std::string& protocol_name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::erase(allowed_, protocol_name);
   allowed_.insert(allowed_.begin(), protocol_name);
   bump_generation();
 }
 
 std::vector<std::string> ProtoPool::allowed() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return allowed_;
 }
 
 std::size_t ProtoPool::size() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return allowed_.size();
 }
 

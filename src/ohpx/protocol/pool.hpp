@@ -10,11 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::proto {
 
@@ -57,7 +57,7 @@ class ProtoPool {
     generation_.fetch_add(1, std::memory_order_release);
   }
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"proto.pool"};
   std::vector<std::string> allowed_ OHPX_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> generation_{1};
 };

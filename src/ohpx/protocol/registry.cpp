@@ -9,6 +9,7 @@
 #include "ohpx/protocol/relay.hpp"
 #include "ohpx/protocol/shm.hpp"
 #include "ohpx/protocol/tcp_proto.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::proto {
 
@@ -54,17 +55,17 @@ ProtocolRegistry::ProtocolRegistry() {
 
 void ProtocolRegistry::register_factory(const std::string& name,
                                         ProtocolFactory factory) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   factories_[name] = std::move(factory);
 }
 
 bool ProtocolRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return factories_.contains(name);
 }
 
 std::vector<std::string> ProtocolRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);
@@ -74,7 +75,7 @@ std::vector<std::string> ProtocolRegistry::names() const {
 ProtocolPtr ProtocolRegistry::instantiate(const ProtocolEntry& entry) const {
   ProtocolFactory factory;
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     const auto it = factories_.find(entry.name);
     if (it == factories_.end()) {
       throw ProtocolError(ErrorCode::protocol_unknown,

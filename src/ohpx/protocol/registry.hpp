@@ -7,13 +7,13 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/protocol/entry.hpp"
 #include "ohpx/protocol/protocol.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::proto {
 
@@ -40,7 +40,7 @@ class ProtocolRegistry {
  private:
   ProtocolRegistry();
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"proto.registry"};
   std::map<std::string, ProtocolFactory> factories_ OHPX_GUARDED_BY(mutex_);
 };
 

@@ -1,5 +1,6 @@
 #include "ohpx/protocol/tcp_proto.hpp"
 
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/trace/trace.hpp"
 
 namespace ohpx::proto {
@@ -10,7 +11,7 @@ bool TcpProtocol::applicable(const CallTarget& target) const {
 
 std::shared_ptr<transport::TcpChannel> TcpProtocol::channel_for(
     const std::string& host, std::uint16_t port) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   auto& slot = channels_[{host, port}];
   if (!slot) {
     slot = std::make_shared<transport::TcpChannel>(host, port);
@@ -30,7 +31,7 @@ ReplyMessage TcpProtocol::invoke(const wire::MessageHeader& header,
     // Connection may be stale (server restarted / migrated).  Drop the
     // cached channel and retry once on a fresh connection.
     {
-      std::lock_guard lock(mutex_);
+      sync::LockGuard lock(mutex_);
       channels_.erase({target.address.tcp_host, target.address.tcp_port});
     }
     channel = channel_for(target.address.tcp_host, target.address.tcp_port);

@@ -6,10 +6,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/protocol/protocol.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/transport/tcp.hpp"
 
 namespace ohpx::proto {
@@ -28,7 +28,7 @@ class TcpProtocol final : public Protocol {
   std::shared_ptr<transport::TcpChannel> channel_for(const std::string& host,
                                                      std::uint16_t port);
 
-  std::mutex mutex_;
+  sync::Mutex mutex_{"proto.tcp.channels"};
   std::map<std::pair<std::string, std::uint16_t>,
            std::shared_ptr<transport::TcpChannel>>
       channels_ OHPX_GUARDED_BY(mutex_);

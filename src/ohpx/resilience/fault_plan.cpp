@@ -1,5 +1,7 @@
 #include "ohpx/resilience/fault_plan.hpp"
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::resilience {
 namespace {
 
@@ -39,7 +41,7 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::set_plan(const std::string& endpoint,
                              const FaultSchedule& schedule) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   EndpointState& state = states_[endpoint];
   state.schedule = schedule;
   state.scheduled = true;
@@ -49,13 +51,13 @@ void FaultInjector::set_plan(const std::string& endpoint,
 }
 
 void FaultInjector::clear() {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   states_.clear();
   active_.store(false, std::memory_order_release);
 }
 
 FaultDecision FaultInjector::decide(const std::string& endpoint) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   EndpointState& state = states_[endpoint];
   const std::uint64_t index = state.calls++;
   if (!state.scheduled) return {};
@@ -84,13 +86,13 @@ FaultDecision FaultInjector::decide(const std::string& endpoint) {
 }
 
 std::uint64_t FaultInjector::call_count(const std::string& endpoint) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = states_.find(endpoint);
   return it == states_.end() ? 0 : it->second.calls;
 }
 
 std::uint64_t FaultInjector::total_calls() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [name, state] : states_) total += state.calls;
   return total;

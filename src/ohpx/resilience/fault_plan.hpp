@@ -16,13 +16,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/common/rng.hpp"
 #include "ohpx/resilience/clock.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::resilience {
 
@@ -101,8 +102,8 @@ class FaultInjector {
     std::uint64_t calls = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, EndpointState> states_;
+  mutable sync::Mutex mutex_{"resilience.fault_plan"};
+  std::map<std::string, EndpointState> states_ OHPX_GUARDED_BY(mutex_);
   std::atomic<bool> active_{false};
 };
 

@@ -1,21 +1,24 @@
 #include "ohpx/resilience/retry.hpp"
 
 #include <algorithm>
-#include <mutex>
+
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::resilience {
 namespace {
 
 std::atomic<std::uint64_t> g_policy_revision{1};
 
-std::mutex& global_policy_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// Outermost policy scope, under one lock class so the analysis ties the
+/// slot to the mutex that guards it.
+struct GlobalPolicy {
+  sync::Mutex mutex{"resilience.retry_global"};
+  RetryPolicy policy OHPX_GUARDED_BY(mutex);
+};
 
-RetryPolicy& global_policy_slot() {
-  static RetryPolicy policy;
-  return policy;
+GlobalPolicy& global_policy() {
+  static GlobalPolicy instance;
+  return instance;
 }
 
 void bump_revision() noexcept {
@@ -24,6 +27,9 @@ void bump_revision() noexcept {
 
 }  // namespace
 
+// Exhaustive on purpose — no default — so adding an ErrorCode without
+// deciding its retry class is a compile warning here and an ohpx-lint
+// error (error-consistency rule in tools/ohpx_lint_ast.py).
 bool is_retryable(ErrorCode code) noexcept {
   switch (code) {
     // Channel faults: the endpoint may rebind, a breaker may fail over.
@@ -39,9 +45,40 @@ bool is_retryable(ErrorCode code) noexcept {
     // Migration race: the republish already happened, re-resolve and go.
     case ErrorCode::stale_reference:
       return true;
-    default:
+    // Success needs no retry.
+    case ErrorCode::ok:
+    // Malformed frames that a re-send would reproduce byte-for-byte.
+    case ErrorCode::wire_bad_magic:
+    case ErrorCode::wire_bad_version:
+    case ErrorCode::wire_overflow:
+    case ErrorCode::wire_bad_value:
+    // Protocol selection verdicts: deterministic given the same ref.
+    case ErrorCode::protocol_unknown:
+    case ErrorCode::protocol_not_applicable:
+    case ErrorCode::protocol_no_match:
+    case ErrorCode::protocol_bad_proto_data:
+    // Refusals of authority are answers, not accidents.
+    case ErrorCode::capability_denied:
+    case ErrorCode::capability_expired:
+    case ErrorCode::capability_exhausted:
+    case ErrorCode::capability_auth_failed:
+    case ErrorCode::capability_unknown:
+    // Object-layer misses other than the migration race above.
+    case ErrorCode::object_not_found:
+    case ErrorCode::method_not_found:
+    case ErrorCode::bad_object_ref:
+    case ErrorCode::context_not_found:
+    case ErrorCode::type_mismatch:
+    // Runtime decisions and application-raised errors are final.
+    case ErrorCode::migration_failed:
+    case ErrorCode::not_migratable:
+    case ErrorCode::remote_application_error:
+    // The budget is spent; retrying would only overdraw it.
+    case ErrorCode::deadline_exceeded:
+    case ErrorCode::internal:
       return false;
   }
+  return false;  // unreachable for in-range codes
 }
 
 BackoffSchedule::BackoffSchedule(const RetryPolicy& policy) noexcept
@@ -67,8 +104,9 @@ std::uint64_t retry_policy_revision() noexcept {
 
 void set_global_retry_policy(const RetryPolicy& policy) {
   {
-    std::lock_guard lock(global_policy_mutex());
-    global_policy_slot() = policy;
+    GlobalPolicy& global = global_policy();
+    sync::LockGuard lock(global.mutex);
+    global.policy = policy;
   }
   bump_revision();
 }
@@ -77,7 +115,7 @@ void clear_global_retry_policy() { set_global_retry_policy(RetryPolicy{}); }
 
 void RetryOverride::set(const RetryPolicy& policy) {
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     policy_ = policy;
   }
   engaged_.store(true, std::memory_order_release);
@@ -90,7 +128,7 @@ void RetryOverride::clear() {
 }
 
 RetryPolicy RetryOverride::get() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return policy_;
 }
 
@@ -98,8 +136,9 @@ RetryPolicy resolve_retry_policy(const RetryOverride& core,
                                  const RetryOverride& context) {
   if (core.overridden()) return core.get();
   if (context.overridden()) return context.get();
-  std::lock_guard lock(global_policy_mutex());
-  return global_policy_slot();
+  GlobalPolicy& global = global_policy();
+  sync::LockGuard lock(global.mutex);
+  return global.policy;
 }
 
 }  // namespace ohpx::resilience

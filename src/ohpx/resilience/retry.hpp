@@ -15,11 +15,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/common/clock.hpp"
 #include "ohpx/common/error.hpp"
 #include "ohpx/common/rng.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::resilience {
 
@@ -99,8 +100,8 @@ class RetryOverride {
   RetryPolicy get() const;
 
  private:
-  mutable std::mutex mutex_;
-  RetryPolicy policy_;
+  mutable sync::Mutex mutex_{"resilience.retry_override"};
+  RetryPolicy policy_ OHPX_GUARDED_BY(mutex_);
   std::atomic<bool> engaged_{false};
 };
 

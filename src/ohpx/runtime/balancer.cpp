@@ -4,6 +4,7 @@
 
 #include "ohpx/common/log.hpp"
 #include "ohpx/runtime/migration.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::runtime {
 
@@ -11,12 +12,12 @@ LoadBalancer::LoadBalancer(World& world, BalancerPolicy policy)
     : world_(world), policy_(policy) {}
 
 void LoadBalancer::track(orb::ObjectId object_id, double load_share) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   tracked_[object_id] = load_share;
 }
 
 void LoadBalancer::untrack(orb::ObjectId object_id) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   tracked_.erase(object_id);
 }
 
@@ -32,7 +33,7 @@ std::vector<MigrationEvent> LoadBalancer::rebalance_once() {
 
   std::map<orb::ObjectId, double> tracked;
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     tracked = tracked_;
   }
 

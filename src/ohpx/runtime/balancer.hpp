@@ -13,11 +13,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/runtime/world.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::runtime {
 
@@ -54,7 +54,7 @@ class LoadBalancer {
 
   World& world_;
   BalancerPolicy policy_;
-  std::mutex mutex_;
+  sync::Mutex mutex_{"runtime.balancer"};
   std::map<orb::ObjectId, double> tracked_ OHPX_GUARDED_BY(mutex_);
 };
 

@@ -3,6 +3,7 @@
 #include "ohpx/capability/registry.hpp"
 #include "ohpx/common/error.hpp"
 #include "ohpx/common/log.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::runtime {
 namespace {
@@ -58,19 +59,19 @@ ServantTypeRegistry& ServantTypeRegistry::instance() {
 
 void ServantTypeRegistry::register_type(
     const std::string& type_name, std::function<orb::ServantPtr()> factory) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   factories_[type_name] = std::move(factory);
 }
 
 bool ServantTypeRegistry::contains(const std::string& type_name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return factories_.contains(type_name);
 }
 
 orb::ServantPtr ServantTypeRegistry::create(const std::string& type_name) const {
   std::function<orb::ServantPtr()> factory;
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     const auto it = factories_.find(type_name);
     if (it == factories_.end()) {
       throw Error(ErrorCode::not_migratable,

@@ -21,11 +21,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/context.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::runtime {
 
@@ -51,7 +51,7 @@ class ServantTypeRegistry {
 
  private:
   ServantTypeRegistry() = default;
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"runtime.servant_types"};
   std::map<std::string, std::function<orb::ServantPtr()>> factories_
       OHPX_GUARDED_BY(mutex_);
 };

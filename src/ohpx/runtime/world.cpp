@@ -1,24 +1,25 @@
 #include "ohpx/runtime/world.hpp"
 
 #include "ohpx/common/error.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::runtime {
 
 orb::Context& World::create_context(netsim::MachineId machine) {
   auto context = std::make_unique<orb::Context>(
       orb::Context::allocate_id(), machine, topology_, location_);
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   contexts_.push_back(std::move(context));
   return *contexts_.back();
 }
 
 std::size_t World::context_count() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return contexts_.size();
 }
 
 orb::Context& World::context(orb::ContextId id) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   for (const auto& context : contexts_) {
     if (context->id() == id) return *context;
   }
@@ -27,7 +28,7 @@ orb::Context& World::context(orb::ContextId id) {
 }
 
 std::vector<orb::Context*> World::contexts_on(netsim::MachineId machine) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   std::vector<orb::Context*> out;
   for (const auto& context : contexts_) {
     if (context->machine() == machine) out.push_back(context.get());
@@ -36,7 +37,7 @@ std::vector<orb::Context*> World::contexts_on(netsim::MachineId machine) {
 }
 
 orb::Context* World::find_context_of(orb::ObjectId object_id) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   for (const auto& context : contexts_) {
     if (context->hosts(object_id)) return context.get();
   }

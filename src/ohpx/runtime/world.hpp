@@ -9,13 +9,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/netsim/topology.hpp"
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/location.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::runtime {
 
@@ -52,7 +52,7 @@ class World {
  private:
   netsim::Topology topology_;
   orb::LocationService location_;
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"runtime.world"};
   std::vector<std::unique_ptr<orb::Context>> contexts_ OHPX_GUARDED_BY(mutex_);
 };
 

@@ -1,5 +1,6 @@
 #include "ohpx/scenario/counter.hpp"
 
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/wire/serialize.hpp"
 
 namespace ohpx::scenario {
@@ -9,19 +10,19 @@ void CounterServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
   switch (method_id) {
     case kAdd: {
       auto [delta] = orb::unmarshal<std::int64_t>(in);
-      std::lock_guard lock(mutex_);
+      sync::LockGuard lock(mutex_);
       value_ += delta;
       orb::marshal_result(out, value_);
       return;
     }
     case kGet: {
-      std::lock_guard lock(mutex_);
+      sync::LockGuard lock(mutex_);
       orb::marshal_result(out, value_);
       return;
     }
     case kSet: {
       auto [value] = orb::unmarshal<std::int64_t>(in);
-      std::lock_guard lock(mutex_);
+      sync::LockGuard lock(mutex_);
       value_ = value;
       return;
     }
@@ -31,23 +32,23 @@ void CounterServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
 }
 
 Bytes CounterServant::snapshot() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return wire::encode_value(value_).release();
 }
 
 void CounterServant::restore(BytesView snapshot_bytes) {
   const std::int64_t value = wire::decode_value<std::int64_t>(snapshot_bytes);
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   value_ = value;
 }
 
 std::int64_t CounterServant::value() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return value_;
 }
 
 void CounterServant::set_value(std::int64_t value) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   value_ = value;
 }
 

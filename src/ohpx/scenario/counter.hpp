@@ -4,12 +4,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/orb/stub.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::scenario {
 
@@ -35,7 +35,7 @@ class CounterServant final : public orb::Servant {
   void set_value(std::int64_t value);
 
  private:
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"scenario.counter"};
   std::int64_t value_ OHPX_GUARDED_BY(mutex_) = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/wire/serialize.hpp"
 
 namespace ohpx::scenario {
@@ -57,7 +58,7 @@ void HeatSimServant::init(std::uint32_t rows, std::uint32_t cols,
     throw Error(ErrorCode::remote_application_error,
                 "heatsim: grid dimensions out of range");
   }
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   rows_ = rows;
   cols_ = cols;
   grid_.assign(static_cast<std::size_t>(rows) * cols, ambient);
@@ -80,14 +81,14 @@ void HeatSimServant::check_cell(std::uint32_t row, std::uint32_t col) const {
 
 void HeatSimServant::inject(std::uint32_t row, std::uint32_t col,
                             double temperature) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_initialized();
   check_cell(row, col);
   grid_[index(row, col)] = temperature;
 }
 
 double HeatSimServant::step(std::uint32_t iterations) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_initialized();
   double max_delta = 0.0;
   for (std::uint32_t it = 0; it < iterations; ++it) {
@@ -111,14 +112,14 @@ double HeatSimServant::step(std::uint32_t iterations) {
 }
 
 double HeatSimServant::sample(std::uint32_t row, std::uint32_t col) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_initialized();
   check_cell(row, col);
   return grid_[index(row, col)];
 }
 
 std::vector<double> HeatSimServant::fetch_map(std::uint32_t stride) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_initialized();
   if (stride == 0) stride = 1;
   std::vector<double> map;
@@ -132,19 +133,19 @@ std::vector<double> HeatSimServant::fetch_map(std::uint32_t stride) const {
 }
 
 std::pair<double, double> HeatSimServant::stats() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   check_initialized();
   const auto [lo, hi] = std::minmax_element(grid_.begin(), grid_.end());
   return {*lo, *hi};
 }
 
 std::uint64_t HeatSimServant::cells() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return grid_.size();
 }
 
 Bytes HeatSimServant::snapshot() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   wire::Buffer buf;
   wire::Encoder enc(buf);
   enc.put_u32(rows_);
@@ -163,7 +164,7 @@ void HeatSimServant::restore(BytesView snapshot_bytes) {
     throw WireError(ErrorCode::wire_bad_value,
                     "heatsim snapshot grid size mismatch");
   }
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   rows_ = rows;
   cols_ = cols;
   grid_ = std::move(grid);

@@ -9,13 +9,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/orb/stub.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::scenario {
 
@@ -56,7 +56,7 @@ class HeatSimServant final : public orb::Servant {
     return static_cast<std::size_t>(row) * cols_ + col;
   }
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"scenario.heatsim"};
   std::uint32_t rows_ OHPX_GUARDED_BY(mutex_) = 0;
   std::uint32_t cols_ OHPX_GUARDED_BY(mutex_) = 0;
   std::vector<double> grid_ OHPX_GUARDED_BY(mutex_);

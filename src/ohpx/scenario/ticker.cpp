@@ -1,6 +1,7 @@
 #include "ohpx/scenario/ticker.hpp"
 
 #include "ohpx/common/log.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/wire/serialize.hpp"
 
 namespace ohpx::scenario {
@@ -10,23 +11,23 @@ void TickListenerServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
   (void)out;
   if (method_id != kOnTick) orb::unknown_method(kTypeName, method_id);
   auto [value] = orb::unmarshal<std::int32_t>(in);
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   received_.push_back(value);
 }
 
 std::vector<std::int32_t> TickListenerServant::received() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return received_;
 }
 
 Bytes TickListenerServant::snapshot() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return wire::encode_value(received_).release();
 }
 
 void TickListenerServant::restore(BytesView snapshot_bytes) {
   auto values = wire::decode_value<std::vector<std::int32_t>>(snapshot_bytes);
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   received_ = std::move(values);
 }
 
@@ -61,14 +62,14 @@ std::uint32_t TickerServant::subscribe(const orb::ObjectRef& listener) {
     throw ObjectError(ErrorCode::type_mismatch,
                       "ticker: subscriber must be a TickListener");
   }
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const std::uint32_t token = next_token_++;
   subscribers_.emplace(token, listener);
   return token;
 }
 
 bool TickerServant::unsubscribe(std::uint32_t token) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return subscribers_.erase(token) != 0;
 }
 
@@ -77,7 +78,7 @@ std::uint32_t TickerServant::publish(std::int32_t value) {
   // (a subscriber may re-enter subscribe/unsubscribe).
   std::vector<std::pair<std::uint32_t, orb::ObjectRef>> snapshot;
   {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     snapshot.assign(subscribers_.begin(), subscribers_.end());
   }
 
@@ -94,14 +95,14 @@ std::uint32_t TickerServant::publish(std::int32_t value) {
     }
   }
   if (!dead.empty()) {
-    std::lock_guard lock(mutex_);
+    sync::LockGuard lock(mutex_);
     for (const std::uint32_t token : dead) subscribers_.erase(token);
   }
   return notified;
 }
 
 std::uint32_t TickerServant::count() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return static_cast<std::uint32_t>(subscribers_.size());
 }
 

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
@@ -19,6 +18,7 @@
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/servant.hpp"
 #include "ohpx/orb/stub.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::scenario {
 
@@ -39,7 +39,7 @@ class TickListenerServant final : public orb::Servant {
   std::vector<std::int32_t> received() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"scenario.tick_listener"};
   std::vector<std::int32_t> received_ OHPX_GUARDED_BY(mutex_);
 };
 
@@ -82,7 +82,7 @@ class TickerServant final : public orb::Servant {
 
  private:
   orb::Context& home_;
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"scenario.ticker"};
   std::uint32_t next_token_ OHPX_GUARDED_BY(mutex_) = 1;
   std::map<std::uint32_t, orb::ObjectRef> subscribers_ OHPX_GUARDED_BY(mutex_);
 };

@@ -1,0 +1,81 @@
+// Process-wide lock-acquisition-order registry (the debug half of
+// ohpx::sync — see mutex.hpp for the annotated wrapper types that feed it).
+//
+// Every checked mutex interns a *node* keyed by its name: two mutexes that
+// share a name share a rank, so an A-then-B acquisition in one place and a
+// B-then-A acquisition anywhere else is an inversion even across distinct
+// instances — the classic ABBA deadlock is a property of lock *classes*,
+// not of the two specific objects a test happened to allocate.
+//
+// At lock time the registry records a directed edge from the top of the
+// calling thread's held stack to the mutex being acquired.  Inserting an
+// edge that closes a cycle in the acquisition graph is a *potential
+// deadlock*: the report is produced deterministically at that moment (no
+// two-thread race needs to actually happen), names every participant in
+// canonical order, and cites both acquisition sites of the closing edge —
+// where the held lock was taken and where the inverted lock is being
+// taken.  Reports are deduplicated per canonical cycle and kept until
+// drained with take_reports().
+//
+// Cost: one short critical section on the registry's internal mutex per
+// checked lock().  This is a debug facility — release builds alias
+// ohpx::sync::Mutex to the unchecked flavor, whose lock() compiles to a
+// bare std::mutex::lock() with no validator code at all.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ohpx::sync::lock_order {
+
+/// Where a lock() call happened (captured via __builtin_FILE/LINE default
+/// arguments on the wrapper, so user call sites need no macros).
+struct Site {
+  const char* file = "";
+  int line = 0;
+};
+
+class Node;  // interned per mutex name; defined in lock_order.cpp
+
+/// Interns (or reuses) the node for `name`.  Never fails; never freed —
+/// names are lock classes and the set of classes is small and static.
+Node* register_mutex(const char* name) noexcept;
+
+/// Record an acquisition about to block on `node`.  Called *before* the
+/// underlying lock so an inversion is reported even if the process then
+/// actually deadlocks.  Pushes `node` onto the thread's held stack.
+void on_acquire(Node* node, Site site) noexcept;
+
+/// Record a successful try_lock (no deadlock risk, but the hold still
+/// orders every later acquisition).  Pushes onto the held stack.
+void on_try_acquire(Node* node, Site site) noexcept;
+
+/// Record a release: removes the most recent hold of `node` from the
+/// thread's held stack (out-of-order unlocks are legal).
+void on_release(Node* node) noexcept;
+
+/// One detected potential deadlock.
+struct InversionReport {
+  /// Mutex names around the cycle, rotated so the lexicographically
+  /// smallest name comes first; size >= 2.
+  std::vector<std::string> cycle;
+
+  /// Deterministic human-readable report: the cycle, then the closing
+  /// edge's two acquisition sites (held-at and acquiring-at).
+  std::string description;
+};
+
+/// Drains all reports accumulated so far, ranked: shortest cycles (the
+/// most actionable) first, ties broken by participant names.
+std::vector<InversionReport> take_reports();
+
+/// Number of undrained reports (cheap peek for asserts and soak loops).
+std::size_t report_count() noexcept;
+
+/// Test isolation: forgets all edges, held stacks are NOT touched (callers
+/// must not hold checked locks across this), drops undrained reports.
+/// Interned nodes survive — names stay stable for the process lifetime.
+void reset_for_testing();
+
+}  // namespace ohpx::sync::lock_order

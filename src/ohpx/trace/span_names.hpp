@@ -1,0 +1,44 @@
+// Canonical registry of every trace span/event name in src/.
+//
+// Span names are a cross-file contract: the exporter groups by them, the
+// timeline tests assert on them, and dashboards key on them — so a name
+// that exists only at one call site is either a typo or an undocumented
+// stage.  ohpx-lint's AST tier (tools/ohpx_lint_ast.py, rule
+// error-consistency) checks both directions against this list: every
+// literal passed to trace::Span / trace::event in src/ must be registered
+// here, and every registered name must still have a call site.
+//
+// Adding a span?  Add its name here (keep the array sorted) in the same
+// change that introduces the call site.
+#pragma once
+
+namespace ohpx::trace::names {
+
+inline constexpr const char* kRegistered[] = {
+    "breaker.close",     // resilience: breaker closes after probe success
+    "breaker.open",      // resilience: failure threshold tripped
+    "breaker.probe",     // resilience: half-open trial call
+    "cache.invalidate",  // orb: cached selection dropped (revision bump)
+    "cap.process",       // capability: outbound chain stage
+    "cap.unprocess",     // capability: inbound chain stage (reverse)
+    "proto.glue",        // protocol: glue-code dispatch
+    "proto.nexus",       // protocol: nexus relay hop
+    "proto.relay",       // protocol: store-and-forward relay
+    "proto.shm",         // protocol: shared-memory transfer
+    "proto.tcp",         // protocol: TCP roundtrip
+    "retry.backoff",     // resilience: backoff wait before re-attempt
+    "retry.error",       // resilience: attempt failed, not retryable
+    "retry.error_reply", // resilience: remote error reply decoded
+    "retry.reconnect",   // resilience: channel rebuild before retry
+    "retry.stale_ref",   // resilience: re-resolve after migration race
+    "retry.transport",   // resilience: transport fault worth a retry
+    "rmi.invoke",        // orb: one logical remote method invocation
+    "select",            // orb: protocol selection
+    "servant.dispatch",  // orb: servant-side method execution
+    "server.dispatch",   // orb: server-side request decode + route
+    "transport",         // transport: channel send/receive leg
+    "wire.decode",       // wire: frame decode
+    "wire.encode",       // wire: frame encode
+};
+
+}  // namespace ohpx::trace::names

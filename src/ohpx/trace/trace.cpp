@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <mutex>
 
 #include "ohpx/common/rng.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::trace {
 namespace {
@@ -65,31 +65,36 @@ class GateHold {
   ThreadBuffer& buffer_;
 };
 
-std::mutex& registry_mutex() {
-  static std::mutex mutex;
-  return mutex;
+/// All thread buffers ever created, under one lock class so the analysis
+/// ties the vector to the mutex that guards it.
+struct BufferRegistry {
+  sync::Mutex mutex{"trace.registry"};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers OHPX_GUARDED_BY(mutex);
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry instance;
+  return instance;
 }
 
-std::vector<std::shared_ptr<ThreadBuffer>>& registry() {
-  static std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  return buffers;
-}
-
-/// Serializes g_active_sources transitions (config calls are rare).
-std::mutex& config_mutex() {
-  static std::mutex mutex;
+/// Serializes g_active_sources transitions (config calls are rare).  The
+/// sampling fields themselves stay atomics read lock-free on the hot path,
+/// so they are deliberately not GUARDED_BY this mutex.
+sync::Mutex& config_mutex() {
+  static sync::Mutex mutex{"trace.config"};
   return mutex;
 }
 
 ThreadBuffer& local_buffer(std::size_t capacity) {
   thread_local ThreadBuffer* buffer = nullptr;
   if (buffer == nullptr) {
-    std::lock_guard lock(registry_mutex());
+    BufferRegistry& reg = buffer_registry();
+    sync::LockGuard lock(reg.mutex);
     auto fresh = std::make_shared<ThreadBuffer>(
-        capacity, static_cast<std::uint32_t>(registry().size()));
+        capacity, static_cast<std::uint32_t>(reg.buffers.size()));
     buffer = fresh.get();
-    registry().push_back(std::move(fresh));  // outlives the thread so its
-                                             // spans survive into snapshots
+    reg.buffers.push_back(std::move(fresh));  // outlives the thread so its
+                                              // spans survive into snapshots
   }
   return *buffer;
 }
@@ -137,7 +142,7 @@ std::atomic<int> TraceSink::g_active_sources{0};
 SamplingOverride::~SamplingOverride() { clear(); }
 
 void SamplingOverride::set(Sampling mode, double ratio) noexcept {
-  std::lock_guard lock(config_mutex());
+  sync::LockGuard lock(config_mutex());
   const int previous = mode_.load(std::memory_order_relaxed);
   const bool was_source = previous > static_cast<int>(Sampling::off);
   const bool is_source = mode != Sampling::off;
@@ -152,7 +157,7 @@ void SamplingOverride::set(Sampling mode, double ratio) noexcept {
 }
 
 void SamplingOverride::clear() noexcept {
-  std::lock_guard lock(config_mutex());
+  sync::LockGuard lock(config_mutex());
   const int previous = mode_.load(std::memory_order_relaxed);
   mode_.store(-1, std::memory_order_relaxed);
   if (previous > static_cast<int>(Sampling::off)) {
@@ -202,7 +207,7 @@ TraceSink& TraceSink::global() {
 }
 
 void TraceSink::set_sampling(Sampling mode, double ratio) noexcept {
-  std::lock_guard lock(config_mutex());
+  sync::LockGuard lock(config_mutex());
   const int previous = mode_.load(std::memory_order_relaxed);
   const bool was_source = previous != static_cast<int>(Sampling::off);
   const bool is_source = mode != Sampling::off;
@@ -260,8 +265,9 @@ void TraceSink::record(const SpanRecord& record) noexcept {
 TraceSnapshot TraceSink::snapshot() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard lock(registry_mutex());
-    buffers = registry();
+    BufferRegistry& reg = buffer_registry();
+    sync::LockGuard lock(reg.mutex);
+    buffers = reg.buffers;
   }
   TraceSnapshot snap;
   for (const auto& buffer : buffers) {
@@ -281,8 +287,9 @@ TraceSnapshot TraceSink::snapshot() const {
 void TraceSink::clear() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard lock(registry_mutex());
-    buffers = registry();
+    BufferRegistry& reg = buffer_registry();
+    sync::LockGuard lock(reg.mutex);
+    buffers = reg.buffers;
   }
   for (const auto& buffer : buffers) {
     GateHold hold(*buffer);
@@ -296,8 +303,9 @@ void TraceSink::clear() {
 std::uint64_t TraceSink::dropped() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard lock(registry_mutex());
-    buffers = registry();
+    BufferRegistry& reg = buffer_registry();
+    sync::LockGuard lock(reg.mutex);
+    buffers = reg.buffers;
   }
   std::uint64_t total = 0;
   for (const auto& buffer : buffers) {

@@ -4,6 +4,7 @@
 
 #include "ohpx/common/error.hpp"
 #include "ohpx/resilience/deadline.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::transport {
 
@@ -13,17 +14,17 @@ EndpointRegistry& EndpointRegistry::instance() {
 }
 
 void EndpointRegistry::bind(const std::string& name, FrameHandler handler) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   handlers_[name] = std::move(handler);
 }
 
 void EndpointRegistry::unbind(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   handlers_.erase(name);
 }
 
 FrameHandler EndpointRegistry::lookup(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   const auto it = handlers_.find(name);
   if (it == handlers_.end()) {
     throw TransportError(ErrorCode::transport_unknown_endpoint,
@@ -33,17 +34,17 @@ FrameHandler EndpointRegistry::lookup(const std::string& name) const {
 }
 
 bool EndpointRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return handlers_.contains(name);
 }
 
 std::size_t EndpointRegistry::size() const {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   return handlers_.size();
 }
 
 void EndpointRegistry::clear() {
-  std::lock_guard lock(mutex_);
+  sync::LockGuard lock(mutex_);
   handlers_.clear();
 }
 

@@ -5,10 +5,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/transport/channel.hpp"
 
 namespace ohpx::transport {
@@ -39,7 +39,7 @@ class EndpointRegistry {
  private:
   EndpointRegistry() = default;
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"transport.inproc.endpoints"};
   std::map<std::string, FrameHandler> handlers_ OHPX_GUARDED_BY(mutex_);
 };
 

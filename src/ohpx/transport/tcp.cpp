@@ -13,6 +13,7 @@
 #include "ohpx/common/error.hpp"
 #include "ohpx/common/log.hpp"
 #include "ohpx/resilience/deadline.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::transport {
 namespace {
@@ -130,7 +131,7 @@ void TcpListener::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> workers;
   {
-    std::lock_guard lock(workers_mutex_);
+    sync::LockGuard lock(workers_mutex_);
     workers.swap(workers_);
     finished_.clear();
     // Unblock workers parked in recv() on live connections; they observe
@@ -151,7 +152,7 @@ void TcpListener::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listener closed
     }
-    std::lock_guard lock(workers_mutex_);
+    sync::LockGuard lock(workers_mutex_);
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
       break;
@@ -194,7 +195,7 @@ void TcpListener::serve_connection(int fd) {
     log_warn("tcp", "connection handler error: ", e.what());
   }
   {
-    std::lock_guard lock(workers_mutex_);
+    sync::LockGuard lock(workers_mutex_);
     open_connections_.erase(fd);
     finished_.push_back(std::this_thread::get_id());
   }
@@ -230,7 +231,7 @@ TcpChannel::~TcpChannel() {
 
 wire::Buffer TcpChannel::roundtrip(const wire::Buffer& request,
                                    CostLedger& ledger) {
-  std::lock_guard lock(io_mutex_);
+  sync::LockGuard lock(io_mutex_);
   // Honor the ambient deadline on a real socket: refuse a send whose
   // budget is spent, and bound the reply wait by the remaining budget so
   // a stuck server cannot hold the caller past its deadline.

@@ -7,13 +7,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/sync/mutex.hpp"
 #include "ohpx/transport/channel.hpp"
 
 namespace ohpx::transport {
@@ -44,7 +44,7 @@ class TcpListener {
   FrameHandler handler_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
+  sync::Mutex workers_mutex_{"transport.tcp.workers"};
   std::vector<std::thread> workers_ OHPX_GUARDED_BY(workers_mutex_);
   std::set<int> open_connections_ OHPX_GUARDED_BY(workers_mutex_);
   std::vector<std::thread::id> finished_ OHPX_GUARDED_BY(workers_mutex_);
@@ -67,7 +67,7 @@ class TcpChannel final : public Channel {
   int fd_ = -1;
   std::string host_;
   std::uint16_t port_;
-  std::mutex io_mutex_;
+  sync::Mutex io_mutex_{"transport.tcp.io"};
 };
 
 /// Frame I/O helpers shared by both sides (exposed for tests).

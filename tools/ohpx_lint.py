@@ -61,12 +61,13 @@ def strip_comments_and_strings(text: str) -> str:
     """Blanks out comments and string/char literals, preserving newlines.
 
     Good enough for lint heuristics: handles //, /* */, "..." with escapes,
-    '...' with escapes, and raw strings R"(...)" with empty delimiters as
-    used in this repo.  Replaced characters become spaces so line/column
-    positions survive.
+    '...' with escapes, and raw strings R"delim(...)delim" with any
+    delimiter (including the empty one).  Replaced characters become
+    spaces so line/column positions survive.
     """
     out = []
     i, n = 0, len(text)
+    raw_open = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
     while i < n:
         c = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
@@ -81,12 +82,16 @@ def strip_comments_and_strings(text: str) -> str:
             segment = text[i : j + 2]
             out.append("".join(ch if ch == "\n" else " " for ch in segment))
             i = j + 2
-        elif c == "R" and text[i : i + 3] == 'R"(':
-            j = text.find(')"', i + 3)
-            j = n - 2 if j == -1 else j
-            segment = text[i : j + 2]
+        elif c == "R" and nxt == '"' and (match := raw_open.match(text, i)):
+            # Raw string: runs to `)delim"` for the exact opening delimiter
+            # (e.g. R"ohpx(...)ohpx"), so nothing inside — quotes, escapes,
+            # a bare )" under a non-empty delimiter — terminates it early.
+            closer = ")" + match.group(1) + '"'
+            j = text.find(closer, match.end())
+            j = n - len(closer) if j == -1 else j
+            segment = text[i : j + len(closer)]
             out.append("".join(ch if ch == "\n" else " " for ch in segment))
-            i = j + 2
+            i = j + len(closer)
         elif c in ('"', "'"):
             quote = c
             j = i + 1
@@ -549,6 +554,28 @@ def self_test() -> int:
         expect(not violations,
                f"comment/string/=delete false positive: {violations}")
 
+    # 3b. Raw strings with empty *and* non-empty delimiters are blanked
+    #     out — a non-empty delimiter means an embedded `)"` must NOT
+    #     terminate the literal early and leak its tail into the scan.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = _make_tree(Path(tmp))
+        (root / "src" / "clean.cpp").write_text(
+            '#include "clean.hpp"\n'
+            'const char* kEmpty = R"(new delete printf std::cout)";\n'
+            'const char* kNamed = R"ohpx(quote )" then new printf\n'
+            'std::cerr << delete across lines)ohpx";\n'
+            "namespace ohpx { int answer() { return 42; } }\n")
+        violations = _lint_collect(root)
+        expect(not violations,
+               f"raw-string false positive: {violations}")
+    stripped = strip_comments_and_strings(
+        'a R"(x " y)" b R"id(close )" new "inner)id" c "s" d')
+    expect("new" not in stripped,
+           f"non-empty raw delimiter terminated early: {stripped!r}")
+    for marker in ("a", "b", "c", "d"):
+        expect(re.search(rf"\b{marker}\b", stripped) is not None,
+               f"stripper ate code around raw strings: {stripped!r}")
+
     # 4. metric-handles ignores literal names and delta arithmetic.
     with tempfile.TemporaryDirectory() as tmp:
         root = _make_tree(Path(tmp))
@@ -599,7 +626,7 @@ def self_test() -> int:
             print(f"SELF-TEST FAIL: {failure}")
         return 1
     print(f"ohpx-lint self-test: OK "
-          f"({1 + len(injections) + 4} fixtures verified)")
+          f"({1 + len(injections) + 5} fixtures verified)")
     return 0
 
 
