@@ -15,6 +15,7 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::transport_connect_failed: return "transport_connect_failed";
     case ErrorCode::transport_io: return "transport_io";
     case ErrorCode::transport_unknown_endpoint: return "transport_unknown_endpoint";
+    case ErrorCode::backpressure: return "backpressure";
     case ErrorCode::protocol_unknown: return "protocol_unknown";
     case ErrorCode::protocol_not_applicable: return "protocol_not_applicable";
     case ErrorCode::protocol_no_match: return "protocol_no_match";

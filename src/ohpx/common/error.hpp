@@ -27,6 +27,9 @@ enum class ErrorCode : std::uint32_t {
   transport_connect_failed = 201,
   transport_io = 202,
   transport_unknown_endpoint = 203,
+  // A bounded inflight window is full: the call was refused *before* any
+  // bytes hit the wire, so retrying (after backoff) is always safe.
+  backpressure = 204,
   // protocol layer
   protocol_unknown = 300,
   protocol_not_applicable = 301,

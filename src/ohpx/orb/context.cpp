@@ -180,12 +180,11 @@ std::uint64_t Context::next_request_id() noexcept {
 }
 
 wire::Buffer Context::handle_frame(const wire::Buffer& frame) noexcept {
-  auto& registry = metrics::MetricsRegistry::global();
   requests_counter_->fetch_add(1, std::memory_order_relaxed);
   try {
     return handle_frame_or_throw(frame);
   } catch (const Error& e) {
-    registry
+    metrics::MetricsRegistry::global()
         .counter_handle("server.errors." + std::string(to_string(e.code())))
         ->fetch_add(1, std::memory_order_relaxed);
     wire::MessageHeader header;
@@ -197,7 +196,7 @@ wire::Buffer Context::handle_frame(const wire::Buffer& frame) noexcept {
     }
     return error_frame(header, e.code(), e.what());
   } catch (const std::exception& e) {
-    registry
+    metrics::MetricsRegistry::global()
         .counter_handle("server.errors.remote_application_error")
         ->fetch_add(1, std::memory_order_relaxed);
     wire::MessageHeader header;
@@ -299,7 +298,10 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
   }
 
   wire::Decoder in(payload_view);
-  wire::Buffer result;
+  // Pooled: released below once copied into the reply frame, so a busy
+  // server recycles one warm result buffer per thread instead of
+  // allocating per dispatch.
+  wire::Buffer result = wire::BufferPool::local().acquire();
   wire::Encoder out(result);
   {
     trace::Span servant_span(trace::SpanKind::servant, "servant.dispatch");
@@ -324,6 +326,12 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
   reply_header.request_id = header.request_id;
   reply_header.object_id = header.object_id;
   reply_header.method_or_code = 0;
+  // Echo the transport correlation id so multiplexed replies demux even
+  // when the connection reorders or batches them.
+  if (header.has_correlation()) {
+    reply_header.flags |= wire::kFlagCorrelation;
+    reply_header.correlation_id = header.correlation_id;
+  }
 
   if (binding && !oneway) {
     call.direction = cap::Direction::reply;
@@ -335,6 +343,7 @@ wire::Buffer Context::handle_frame_or_throw(const wire::Buffer& frame) {
   wire::Buffer reply_frame = wire::BufferPool::local().acquire(
       wire::kHeaderSize + result.size());
   wire::encode_frame_into(reply_frame, reply_header, result.view());
+  wire::BufferPool::local().release(std::move(result));
   return reply_frame;
 }
 
@@ -346,6 +355,11 @@ wire::Buffer Context::error_frame(const wire::MessageHeader& request_header,
   header.request_id = request_header.request_id;
   header.object_id = request_header.object_id;
   header.method_or_code = static_cast<std::uint32_t>(code);
+  // Error replies demux like ordinary replies on a multiplexed connection.
+  if (request_header.has_correlation()) {
+    header.flags |= wire::kFlagCorrelation;
+    header.correlation_id = request_header.correlation_id;
+  }
   const wire::Buffer body =
       wire::encode_error_body(static_cast<std::uint32_t>(code), message);
   return wire::encode_frame(header, body.view());

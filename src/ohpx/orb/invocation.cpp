@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ohpx/common/log.hpp"
+#include "ohpx/common/thread_pool.hpp"
 #include "ohpx/protocol/registry.hpp"
 #include "ohpx/protocol/select.hpp"
 #include "ohpx/sync/mutex.hpp"
@@ -34,6 +35,7 @@ CallCore::CallCore(Context& context, ObjectRef ref)
   cache_hits_ = registry.counter_handle("rmi.select.cache_hit");
   cache_misses_ = registry.counter_handle("rmi.select.cache_miss");
   retries_ = registry.counter_handle("rmi.retries");
+  backpressure_ = registry.counter_handle("rmi.backpressure");
   deadline_exceeded_ = registry.counter_handle("rmi.deadline_exceeded");
   breaker_opened_ = registry.counter_handle("rmi.breaker.opened");
   breaker_closed_ = registry.counter_handle("rmi.breaker.closed");
@@ -128,6 +130,118 @@ void CallCore::invoke_oneway(std::uint32_t method_id, wire::Buffer args,
       invoke_internal(method_id, std::move(args), ledger, /*oneway=*/true));
 }
 
+CallCore::Selection CallCore::select_for_call(
+    bool use_cache, const std::shared_ptr<resilience::BreakerSet>& breakers) {
+  Selection sel;
+  std::shared_ptr<const CachedSelection> entry;
+
+  // Probe the invalidation signals *before* resolving, so a concurrent
+  // republish between the probe and the fill can only make the cached
+  // entry look older than it is (a spurious miss next call, never a
+  // stale hit).  The location probe is two-level: the service-wide
+  // version (one atomic load) is enough while the map is quiet; only
+  // when *some* object republished do we ask the precise per-object
+  // epoch question — and if our object was not the one that moved, the
+  // entry is revalidated at the newer version.
+  std::uint64_t epoch = 0;
+  bool epoch_probed = false;
+  std::uint64_t generation = 0;
+  std::uint64_t version = 0;
+  if (use_cache) {
+    version = context_.location().version();
+    generation = context_.pool().generation();
+    {
+      sync::LockGuard lock(mutex_);
+      entry = cache_;
+    }
+    if (entry != nullptr && entry->pool_generation == generation) {
+      if (entry->location_version != version) {
+        epoch = context_.location().epoch_of(ref_.object_id());
+        epoch_probed = true;
+        if (epoch == entry->location_epoch) {
+          auto refreshed = std::make_shared<CachedSelection>(*entry);
+          refreshed->location_version = version;
+          sync::LockGuard lock(mutex_);
+          if (cache_ == entry) cache_ = std::move(refreshed);
+        } else {
+          entry = nullptr;  // our object moved: stale, re-select below
+          trace::event("cache.invalidate", "epoch-changed");
+        }
+      }
+    } else {
+      entry = nullptr;
+    }
+    // A memoized selection must still pass its breaker: an entry whose
+    // breaker tripped is temporarily inapplicable, so the hit degrades
+    // to a gated re-selection (failover to the next table entry).
+    if (entry != nullptr && breakers) {
+      bool admitted = false;
+      const auto transition = breakers->at(entry->entry_index).allow(admitted);
+      if (transition == resilience::CircuitBreaker::Transition::probing) {
+        trace::event("breaker.probe", entry->described);
+      }
+      if (!admitted) entry = nullptr;
+    }
+    if (entry != nullptr) {
+      // last_protocol_ already equals entry->described: every fill sets
+      // both under one lock, and every path that rewrites last_protocol_
+      // without refilling also drops the cache.
+      sel.protocol = entry->protocol;
+      sel.proto_counter = entry->calls_by_protocol;
+      sel.entry_index = entry->entry_index;
+      sel.entry = std::move(entry);
+      sel.from_cache = true;
+      cache_hits_->fetch_add(1, std::memory_order_relaxed);
+      return sel;
+    }
+  }
+
+  if (use_cache) {
+    cache_misses_->fetch_add(1, std::memory_order_relaxed);
+    if (!epoch_probed) {
+      epoch = context_.location().epoch_of(ref_.object_id());
+    }
+  }
+  sel.resolved = resolve_target();
+  if (breakers) {
+    sel.protocol = &proto::select_protocol_or_throw(
+        protocols_, context_.pool(), sel.resolved, sel.entry_index,
+        [&](std::size_t candidate) {
+          bool admitted = false;
+          const auto transition = breakers->at(candidate).allow(admitted);
+          if (transition == resilience::CircuitBreaker::Transition::probing) {
+            trace::event("breaker.probe", protocols_[candidate]->name());
+          }
+          return admitted;
+        });
+  } else {
+    sel.protocol = &proto::select_protocol_or_throw(
+        protocols_, context_.pool(), sel.resolved, sel.entry_index,
+        proto::EntryGate{});
+  }
+  std::string described = sel.protocol->describe();
+  sel.proto_counter = metrics::MetricsRegistry::global().counter_handle(
+      "rmi.calls." + std::string(sel.protocol->name()));
+  sync::LockGuard lock(mutex_);
+  last_protocol_ = described;
+  if (use_cache) {
+    auto fresh = std::make_shared<CachedSelection>();
+    fresh->protocol = sel.protocol;
+    fresh->target = sel.resolved;
+    fresh->entry_index = sel.entry_index;
+    fresh->location_epoch = epoch;
+    fresh->location_version = version;
+    fresh->pool_generation = generation;
+    fresh->described = std::move(described);
+    fresh->calls_by_protocol = sel.proto_counter;
+    cache_ = std::move(fresh);
+  } else {
+    cache_.reset();  // never serve a selection cached before the
+                     // toggle or a failed attempt
+  }
+  return sel;
+}
+
 wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
                                        wire::Buffer args, CostLedger* ledger,
                                        bool oneway) {
@@ -188,123 +302,12 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
 
     trace::Span select_span(trace::SpanKind::selection, "select");
 
-    proto::Protocol* protocol = nullptr;
-    proto::CallTarget resolved_target;  // filled on misses only
-    const proto::CallTarget* target = &resolved_target;
-    metrics::MetricsRegistry::Counter* proto_counter = nullptr;
-    std::size_t entry_index = 0;
-    bool served_from_cache = false;
-    std::shared_ptr<const CachedSelection> entry;
-
-    // Probe the invalidation signals *before* resolving, so a concurrent
-    // republish between the probe and the fill can only make the cached
-    // entry look older than it is (a spurious miss next call, never a
-    // stale hit).  The location probe is two-level: the service-wide
-    // version (one atomic load) is enough while the map is quiet; only
-    // when *some* object republished do we ask the precise per-object
-    // epoch question — and if our object was not the one that moved, the
-    // entry is revalidated at the newer version.
-    std::uint64_t epoch = 0;
-    bool epoch_probed = false;
-    std::uint64_t generation = 0;
-    std::uint64_t version = 0;
-    if (use_cache) {
-      version = context_.location().version();
-      generation = context_.pool().generation();
-      {
-        sync::LockGuard lock(mutex_);
-        entry = cache_;
-      }
-      if (entry != nullptr && entry->pool_generation == generation) {
-        if (entry->location_version != version) {
-          epoch = context_.location().epoch_of(ref_.object_id());
-          epoch_probed = true;
-          if (epoch == entry->location_epoch) {
-            auto refreshed = std::make_shared<CachedSelection>(*entry);
-            refreshed->location_version = version;
-            sync::LockGuard lock(mutex_);
-            if (cache_ == entry) cache_ = std::move(refreshed);
-          } else {
-            entry = nullptr;  // our object moved: stale, re-select below
-            trace::event("cache.invalidate", "epoch-changed");
-          }
-        }
-      } else {
-        entry = nullptr;
-      }
-      // A memoized selection must still pass its breaker: an entry whose
-      // breaker tripped is temporarily inapplicable, so the hit degrades
-      // to a gated re-selection (failover to the next table entry).
-      if (entry != nullptr && breakers) {
-        bool admitted = false;
-        const auto transition =
-            breakers->at(entry->entry_index).allow(admitted);
-        if (transition == resilience::CircuitBreaker::Transition::probing) {
-          trace::event("breaker.probe", entry->described);
-        }
-        if (!admitted) entry = nullptr;
-      }
-      if (entry != nullptr) {
-        // last_protocol_ already equals entry->described: every fill sets
-        // both under one lock, and every path that rewrites last_protocol_
-        // without refilling also drops the cache.
-        protocol = entry->protocol;
-        target = &entry->target;
-        proto_counter = entry->calls_by_protocol;
-        entry_index = entry->entry_index;
-        served_from_cache = true;
-      }
-    }
-
-    if (protocol != nullptr) {
-      cache_hits_->fetch_add(1, std::memory_order_relaxed);
-    } else {
-      if (use_cache) {
-        cache_misses_->fetch_add(1, std::memory_order_relaxed);
-        if (!epoch_probed) {
-          epoch = context_.location().epoch_of(ref_.object_id());
-        }
-      }
-      resolved_target = resolve_target();
-      if (breakers) {
-        protocol = &proto::select_protocol_or_throw(
-            protocols_, context_.pool(), resolved_target, entry_index,
-            [&](std::size_t candidate) {
-              bool admitted = false;
-              const auto transition =
-                  breakers->at(candidate).allow(admitted);
-              if (transition ==
-                  resilience::CircuitBreaker::Transition::probing) {
-                trace::event("breaker.probe", protocols_[candidate]->name());
-              }
-              return admitted;
-            });
-      } else {
-        protocol = &proto::select_protocol_or_throw(
-            protocols_, context_.pool(), resolved_target, entry_index,
-            proto::EntryGate{});
-      }
-      std::string described = protocol->describe();
-      proto_counter = registry.counter_handle("rmi.calls." +
-                                              std::string(protocol->name()));
-      sync::LockGuard lock(mutex_);
-      last_protocol_ = described;
-      if (use_cache) {
-        auto fresh = std::make_shared<CachedSelection>();
-        fresh->protocol = protocol;
-        fresh->target = resolved_target;
-        fresh->entry_index = entry_index;
-        fresh->location_epoch = epoch;
-        fresh->location_version = version;
-        fresh->pool_generation = generation;
-        fresh->described = std::move(described);
-        fresh->calls_by_protocol = proto_counter;
-        cache_ = std::move(fresh);
-      } else {
-        cache_.reset();  // never serve a selection cached before the
-                         // toggle or a failed attempt
-      }
-    }
+    Selection sel = select_for_call(use_cache, breakers);
+    proto::Protocol* protocol = sel.protocol;
+    const proto::CallTarget* target = &sel.target();
+    metrics::MetricsRegistry::Counter* proto_counter = sel.proto_counter;
+    const std::size_t entry_index = sel.entry_index;
+    const bool served_from_cache = sel.from_cache;
 
     if (select_span.armed()) {
       select_span.annotate(served_from_cache ? "cache:hit"
@@ -374,8 +377,13 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     } catch (const TransportError& e) {
       // The channel itself failed: feed the entry's breaker (a tripped
       // breaker makes the entry inapplicable, so the retry below — or the
-      // next call — fails over to the next table entry).
-      if (breakers) {
+      // next call — fails over to the next table entry).  Backpressure is
+      // the exception: a window-full refusal means the channel is *too*
+      // healthy to keep up, not broken — it must never push a breaker
+      // toward open (it would turn transient overload into failover).
+      if (e.code() == ErrorCode::backpressure) {
+        backpressure_->fetch_add(1, std::memory_order_relaxed);
+      } else if (breakers) {
         const auto transition = breakers->at(entry_index).on_failure();
         if (transition == resilience::CircuitBreaker::Transition::opened) {
           breaker_opened_->fetch_add(1, std::memory_order_relaxed);
@@ -471,6 +479,181 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     }
     throw_error(code, message);
   }
+}
+
+Future<wire::Buffer> CallCore::invoke_async_raw(std::uint32_t method_id,
+                                                wire::Buffer args) {
+  AsyncReplyTicket ticket;
+  Future<proto::ReplyMessage> reply =
+      invoke_async_reply(method_id, std::move(args), ticket);
+  return reply.map<wire::Buffer>([ticket](Future<proto::ReplyMessage> settled) {
+    return finish_async_reply(std::move(settled), ticket);
+  });
+}
+
+Future<proto::ReplyMessage> CallCore::invoke_async_reply(
+    std::uint32_t method_id, wire::Buffer args, AsyncReplyTicket& ticket) {
+  // Mint the deadline exactly like the sync path: the reactor captures
+  // the ambient value at submit and cancels the future when it passes.
+  std::optional<resilience::DeadlineScope> deadline_scope;
+  const std::int64_t budget =
+      deadline_budget_ns_.load(std::memory_order_relaxed);
+  if (budget > 0) {
+    deadline_scope.emplace(resilience::now_ns() + budget);
+  }
+  const std::int64_t deadline = resilience::current_deadline_ns();
+  if (resilience::deadline_expired(deadline)) {
+    deadline_exceeded_->fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExceeded("call deadline exceeded before async submit");
+  }
+
+  // Root-or-join, per call: each async submission stamps its own trace
+  // context into its own header — a thousand in-flight calls are a
+  // thousand distinct wire contexts, not one per flush batch.
+  std::optional<trace::ContextScope> trace_scope;
+  if (trace::TraceSink::active() && !trace::current_context().valid() &&
+      trace::should_sample(trace_sampling_, context_.trace_sampling())) {
+    trace_scope.emplace(trace::mint_root());
+  }
+  trace::Span call_span(trace::SpanKind::invoke, "rmi.invoke");
+  call_span.annotate_u64("obj", ref_.object_id());
+  call_span.annotate_u64("method", method_id);
+  call_span.annotate("async");
+
+  // Selection: the same memoized fast path as the sync pipeline.  Under
+  // fan-in every submission after the first is a cache hit — one atomic
+  // version probe plus the breaker gate — instead of paying a re-resolve,
+  // a table scan, a describe() build and a metric-name lookup per call.
+  const std::shared_ptr<resilience::BreakerSet> breakers = breaker_set();
+  const bool use_cache =
+      cacheable_ && cache_enabled_.load(std::memory_order_relaxed);
+  Selection sel = select_for_call(use_cache, breakers);
+  proto::Protocol* const protocol = sel.protocol;
+  const proto::CallTarget& target = sel.target();
+  const std::size_t entry_index = sel.entry_index;
+
+  calls_total_->fetch_add(1, std::memory_order_relaxed);
+  sel.proto_counter->fetch_add(1, std::memory_order_relaxed);
+
+  wire::MessageHeader header;
+  header.type = wire::MessageType::request;
+  header.request_id = context_.next_request_id();
+  header.object_id = ref_.object_id();
+  header.method_or_code = method_id;
+  if (const trace::TraceContext tctx = trace::TraceSink::active()
+                                           ? trace::current_context()
+                                           : trace::TraceContext{};
+      tctx.valid()) {
+    header.flags |= wire::kFlagTraceContext;
+    header.trace_hi = tctx.trace_hi;
+    header.trace_lo = tctx.trace_lo;
+    header.trace_parent_span = tctx.span_id;
+    header.trace_flags = wire::kTraceFlagSampled;
+  }
+  if (deadline != resilience::kNoDeadline) {
+    header.flags |= wire::kFlagDeadline;
+    header.deadline_ns = deadline;
+  }
+
+  if (protocol->supports_async()) {
+    Future<proto::ReplyMessage> exchange;
+    try {
+      exchange = protocol->invoke_async(header, args, target);
+    } catch (const TransportError& e) {
+      // Synchronous refusal.  Backpressure never feeds the breaker (the
+      // channel is saturated, not broken); real submit-time faults do.
+      if (e.code() == ErrorCode::backpressure) {
+        backpressure_->fetch_add(1, std::memory_order_relaxed);
+      } else if (breakers) {
+        const auto transition = breakers->at(entry_index).on_failure();
+        if (transition == resilience::CircuitBreaker::Transition::opened) {
+          breaker_opened_->fetch_add(1, std::memory_order_relaxed);
+          trace::event("breaker.open", protocol->name());
+        }
+      }
+      throw;
+    }
+    // The argument buffer was consumed by the (synchronous) frame encode
+    // inside invoke_async; recycle it for the caller's next marshal.
+    wire::BufferPool::local().release(std::move(args));
+    // Settlement-side bookkeeping (breaker feed, error decoding) moves
+    // into the caller's continuation via the ticket — counters live in
+    // the global registry and the breaker set is shared ownership, so the
+    // ticket may outlive this CallCore.
+    ticket.breakers = breakers;
+    ticket.entry_index = entry_index;
+    ticket.deadline_counter = deadline_exceeded_;
+    ticket.expect_request_id = header.request_id;
+    return exchange;
+  }
+
+  // Worker-thread fallback for protocols without an event-driven bearer:
+  // the full synchronous pipeline (retries included, breakers fed, error
+  // replies re-raised) runs on a shared pool thread, with the caller's
+  // deadline and trace context carried across explicitly (thread-ambient
+  // state does not follow the task).  The ticket records that nothing is
+  // left for finish_async_reply() but handing over the payload.
+  ticket.pipeline_complete = true;
+  auto args_holder = std::make_shared<wire::Buffer>(std::move(args));
+  const trace::TraceContext tctx = trace::TraceSink::active()
+                                       ? trace::current_context()
+                                       : trace::TraceContext{};
+  Promise<proto::ReplyMessage> promise;
+  ThreadPool::shared().submit(
+      [this, method_id, args_holder, promise, deadline, tctx]() mutable {
+        try {
+          resilience::DeadlineScope scope(deadline);
+          std::optional<trace::ContextScope> trace_join;
+          if (tctx.valid()) trace_join.emplace(tctx);
+          proto::ReplyMessage done;
+          done.header.type = wire::MessageType::reply;
+          done.payload = invoke_internal(method_id, std::move(*args_holder),
+                                         /*ledger=*/nullptr,
+                                         /*oneway=*/false);
+          promise.set_value(std::move(done));
+        } catch (...) {
+          promise.set_exception(std::current_exception());
+        }
+      });
+  return promise.future();
+}
+
+wire::Buffer CallCore::finish_async_reply(Future<proto::ReplyMessage> settled,
+                                          const AsyncReplyTicket& ticket) {
+  proto::ReplyMessage reply;
+  try {
+    reply = settled.get();
+  } catch (const DeadlineExceeded&) {
+    if (ticket.deadline_counter) {
+      ticket.deadline_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    throw;
+  } catch (const TransportError& e) {
+    if (ticket.breakers && e.code() != ErrorCode::backpressure) {
+      ticket.breakers->at(ticket.entry_index).on_failure();
+    }
+    throw;
+  }
+  // The fallback pipeline already fed breakers and re-raised error
+  // replies; the async bearer hands those duties to this continuation.
+  if (ticket.pipeline_complete) return std::move(reply.payload);
+  // Any reply proves the channel works (even an error reply).
+  if (ticket.breakers) ticket.breakers->at(ticket.entry_index).on_success();
+  if (reply.header.type == wire::MessageType::request) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "request frame received where reply expected");
+  }
+  if (reply.header.request_id != ticket.expect_request_id) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "reply for a different request id");
+  }
+  if (reply.header.type == wire::MessageType::reply) {
+    return std::move(reply.payload);
+  }
+  std::uint32_t code_raw = 0;
+  std::string message;
+  wire::decode_error_body(reply.payload.view(), code_raw, message);
+  throw_error(static_cast<ErrorCode>(code_raw), message);
 }
 
 std::string CallCore::last_protocol() const {

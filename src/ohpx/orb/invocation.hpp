@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/common/future.hpp"
 #include "ohpx/metrics/metrics.hpp"
 #include "ohpx/orb/context.hpp"
 #include "ohpx/orb/object_ref.hpp"
@@ -56,6 +57,54 @@ class CallCore {
   /// denied — still surface here).
   void invoke_oneway(std::uint32_t method_id, wire::Buffer args,
                      CostLedger* ledger);
+
+  /// Asynchronous invocation: selection, header build and submission run
+  /// on the calling thread; the returned future settles with the reply
+  /// payload (or the typed error) when the exchange completes — off the
+  /// reactor event loop when the selected protocol supports_async(), on a
+  /// shared worker thread otherwise.  Unlike the synchronous path there
+  /// is no retry loop: transient errors (including backpressure refusals,
+  /// which this method throws synchronously) surface to the caller, who
+  /// owns the re-submission decision for in-flight fan-in.  The ambient
+  /// deadline cancels pending futures; the ambient trace context is
+  /// stamped per call.  This CallCore must outlive settlement — callers
+  /// holding it through CallCorePtr (stubs do) get that for free by
+  /// capturing the pointer in a continuation.
+  Future<wire::Buffer> invoke_async_raw(std::uint32_t method_id,
+                                        wire::Buffer args);
+
+  /// Per-call bookkeeping handed out by invoke_async_reply() and consumed
+  /// by finish_async_reply(): which breaker entry the settlement feeds,
+  /// the deadline-miss counter, and whether the reply already ran the full
+  /// synchronous pipeline (worker-thread fallback — nothing left to do but
+  /// hand over the payload).  Copyable by design: continuations capture it
+  /// by value.
+  struct AsyncReplyTicket {
+    std::shared_ptr<resilience::BreakerSet> breakers;
+    std::size_t entry_index = 0;
+    metrics::MetricsRegistry::Counter* deadline_counter = nullptr;
+    /// Request id the reply must echo — the correlation sanity the sync
+    /// pipeline gets from parse_reply_frame, applied at settlement.
+    std::uint64_t expect_request_id = 0;
+    bool pipeline_complete = false;
+  };
+
+  /// Split form of invoke_async_raw() for callers that decode the reply in
+  /// a continuation of their own (stubs do): the submission half returns
+  /// the protocol-level reply future and fills `ticket`; the caller folds
+  /// one finish_async_reply() call into its decode continuation.  Folding
+  /// matters under fan-in: every future stage is a shared-state
+  /// allocation, a settlement under its lock, and a type-erased
+  /// continuation — per call — so the stub path runs one merged stage
+  /// where invoke_async_raw() + map would run two.
+  Future<proto::ReplyMessage> invoke_async_reply(std::uint32_t method_id,
+                                                 wire::Buffer args,
+                                                 AsyncReplyTicket& ticket);
+
+  /// Settlement half: breaker bookkeeping, error-reply decoding, payload
+  /// extraction.  Call exactly once, with the settled reply future.
+  static wire::Buffer finish_async_reply(Future<proto::ReplyMessage> settled,
+                                         const AsyncReplyTicket& ticket);
 
   const ObjectRef& ref() const noexcept { return ref_; }
   Context& context() noexcept { return context_; }
@@ -136,6 +185,32 @@ class CallCore {
     metrics::MetricsRegistry::Counter* calls_by_protocol = nullptr;
   };
 
+  /// One call's resolved selection, cached or fresh.  On a hit `entry`
+  /// pins the immutable snapshot, so target() stays valid for as long as
+  /// the Selection lives; on a miss the freshly resolved target is owned
+  /// by `resolved`.
+  struct Selection {
+    proto::Protocol* protocol = nullptr;
+    proto::CallTarget resolved;                    // filled on misses only
+    std::shared_ptr<const CachedSelection> entry;  // non-null on hits
+    metrics::MetricsRegistry::Counter* proto_counter = nullptr;
+    std::size_t entry_index = 0;
+    bool from_cache = false;
+
+    const proto::CallTarget& target() const noexcept {
+      return entry ? entry->target : resolved;
+    }
+  };
+
+  /// The memoized protocol selection shared by the sync and async paths:
+  /// probe the invalidation signals, revalidate or drop the cached entry,
+  /// gate it through its breaker, and fall back to a full re-selection
+  /// (filling the cache) on a miss.  Bumps cache_hits_/cache_misses_ and
+  /// last_protocol_.
+  Selection select_for_call(
+      bool use_cache,
+      const std::shared_ptr<resilience::BreakerSet>& breakers);
+
   wire::Buffer invoke_internal(std::uint32_t method_id, wire::Buffer args,
                                CostLedger* ledger, bool oneway);
 
@@ -177,6 +252,7 @@ class CallCore {
   metrics::MetricsRegistry::Counter* cache_hits_;
   metrics::MetricsRegistry::Counter* cache_misses_;
   metrics::MetricsRegistry::Counter* retries_;
+  metrics::MetricsRegistry::Counter* backpressure_;
   metrics::MetricsRegistry::Counter* deadline_exceeded_;
   metrics::MetricsRegistry::Counter* breaker_opened_;
   metrics::MetricsRegistry::Counter* breaker_closed_;

@@ -17,9 +17,9 @@
 // exactly like handing the same capability around).
 #pragma once
 
-#include <future>
 #include <utility>
 
+#include "ohpx/common/future.hpp"
 #include "ohpx/orb/invocation.hpp"
 #include "ohpx/wire/buffer_pool.hpp"
 #include "ohpx/wire/serialize.hpp"
@@ -151,22 +151,44 @@ class ObjectStub {
 
   /// Asynchronous remote call (HPC++ heritage: remote invocations that
   /// overlap with local work).  Arguments are marshalled eagerly on the
-  /// calling thread; the wire exchange runs on a separate thread and the
-  /// result (or the remote exception) is delivered through the future.
+  /// calling thread and the call is *submitted* before this returns —
+  /// over the epoll reactor when the selected protocol supports it (no
+  /// thread is parked per call, so one caller can keep thousands in
+  /// flight), on a shared worker thread otherwise.  The result, or the
+  /// remote/transport exception, is delivered through the future; a full
+  /// inflight window surfaces here as a synchronous
+  /// TransportError(backpressure) throw, and the ambient deadline cancels
+  /// the future with DeadlineExceeded.
   template <typename Ret, typename... Args>
-  std::future<Ret> call_async(std::uint32_t method_id, const Args&... args) {
+  ohpx::Future<Ret> call_async(std::uint32_t method_id, const Args&... args) {
     ensure_bound();
-    auto payload = std::make_shared<wire::Buffer>();
+    // Pooled: invoke_async_reply() releases the argument buffer back to
+    // this thread's pool once the frame is encoded, so a fan-in caller
+    // recycles one warm buffer instead of allocating per call.
+    wire::Buffer payload = wire::BufferPool::local().acquire();
     {
-      wire::Encoder enc(*payload);
+      wire::Encoder enc(payload);
       wire::serialize_all(enc, args...);
     }
+    // Capturing core_ in the decode continuation pins the CallCore (and
+    // its protocol objects) until the future settles.  The split
+    // invoke_async_reply / finish_async_reply form folds the invocation
+    // layer's settlement work (breaker feed, error decoding) into this one
+    // continuation — one future stage fewer per call than stacking a
+    // second map over invoke_async_raw.
     CallCorePtr core = core_;
-    return std::async(std::launch::async, [core, payload, method_id]() -> Ret {
+    CallCore::AsyncReplyTicket ticket;
+    Future<proto::ReplyMessage> raw =
+        core->invoke_async_reply(method_id, std::move(payload), ticket);
+    return raw.map<Ret>([core, ticket](Future<proto::ReplyMessage> settled) {
       wire::Buffer reply =
-          core->invoke_raw(method_id, std::move(*payload), nullptr);
-      if constexpr (!std::is_void_v<Ret>) {
-        return wire::decode_value<Ret>(reply.view());
+          CallCore::finish_async_reply(std::move(settled), ticket);
+      if constexpr (std::is_void_v<Ret>) {
+        wire::BufferPool::local().release(std::move(reply));
+      } else {
+        Ret result = wire::decode_value<Ret>(reply.view());
+        wire::BufferPool::local().release(std::move(reply));
+        return result;
       }
     });
   }

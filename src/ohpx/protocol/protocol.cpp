@@ -7,6 +7,43 @@
 
 namespace ohpx::proto {
 
+// Synchronous stand-in so every protocol has *an* async face: the
+// exchange runs inline on the calling thread and the returned future is
+// already settled.  The ORB consults supports_async() and routes calls
+// through a worker thread instead when real overlap is wanted.
+Future<ReplyMessage> Protocol::invoke_async(const wire::MessageHeader& header,
+                                            wire::Buffer& payload,
+                                            const CallTarget& target) {
+  Promise<ReplyMessage> promise;
+  try {
+    CostLedger ledger;
+    ledger.disable_real_timing();
+    promise.set_value(invoke(header, payload, target, ledger));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return promise.future();
+}
+
+ReplyMessage parse_reply_frame(const wire::Buffer& frame,
+                               std::uint64_t expect_request_id) {
+  auto& pool = wire::BufferPool::local();
+  BytesView body;
+  ReplyMessage reply;
+  reply.header = wire::decode_frame(frame.view(), body);
+  if (reply.header.type == wire::MessageType::request) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "request frame received where reply expected");
+  }
+  if (reply.header.request_id != expect_request_id) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "reply for a different request id");
+  }
+  reply.payload = pool.acquire(body.size());
+  reply.payload.append(body);
+  return reply;
+}
+
 ReplyMessage frame_roundtrip(transport::Channel& channel,
                              const wire::MessageHeader& header,
                              const wire::Buffer& payload, CostLedger& ledger) {

@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "ohpx/common/clock.hpp"
+#include "ohpx/common/future.hpp"
 #include "ohpx/protocol/target.hpp"
 #include "ohpx/wire/buffer.hpp"
 #include "ohpx/wire/message.hpp"
@@ -24,10 +25,10 @@ class Channel;
 
 namespace ohpx::proto {
 
-struct ReplyMessage {
-  wire::MessageHeader header;
-  wire::Buffer payload;
-};
+/// The protocol layer's reply vocabulary — an alias, not a wrapper: the
+/// reactor settles the same struct, so the tcp async path hands its
+/// future through this layer without a conversion stage per call.
+using ReplyMessage = wire::ReplyEnvelope;
 
 class Protocol {
  public:
@@ -62,6 +63,24 @@ class Protocol {
   /// false; plain transports only read it.
   virtual bool preserves_payload() const noexcept { return true; }
 
+  /// True when invoke_async() below is genuinely non-blocking (the call is
+  /// queued on an event loop and the future settles later).  Protocols
+  /// that leave the default get their async calls run on a worker thread
+  /// by the ORB instead.
+  virtual bool supports_async() const noexcept { return false; }
+
+  /// Asynchronous variant of invoke(): queues the call and returns a
+  /// future that settles with the reply (or the transport/deadline error).
+  /// Unlike invoke() there is no CostLedger — the exchange completes after
+  /// this stack frame is gone, so there is nothing per-call to charge it
+  /// to (aggregate reactor metrics cover the async path).  The default
+  /// implementation performs the exchange inline and returns an
+  /// already-settled future; callers wanting overlap must check
+  /// supports_async() first.
+  virtual Future<ReplyMessage> invoke_async(const wire::MessageHeader& header,
+                                            wire::Buffer& payload,
+                                            const CallTarget& target);
+
   /// Human-readable description for logs ("glue[encryption,quota]→nexus-tcp").
   virtual std::string describe() const { return std::string(name()); }
 };
@@ -73,5 +92,11 @@ using ProtocolPtr = std::unique_ptr<Protocol>;
 ReplyMessage frame_roundtrip(transport::Channel& channel,
                              const wire::MessageHeader& header,
                              const wire::Buffer& payload, CostLedger& ledger);
+
+/// Parses and validates a raw reply frame (as delivered by the reactor)
+/// against the request it answers: rejects request-typed frames and
+/// request-id mismatches, and copies the body into a pooled buffer.
+ReplyMessage parse_reply_frame(const wire::Buffer& frame,
+                               std::uint64_t expect_request_id);
 
 }  // namespace ohpx::proto

@@ -1,9 +1,43 @@
 #include "ohpx/protocol/tcp_proto.hpp"
 
+#include <atomic>
+
 #include "ohpx/sync/mutex.hpp"
 #include "ohpx/trace/trace.hpp"
+#include "ohpx/transport/reactor.hpp"
+#include "ohpx/wire/buffer_pool.hpp"
 
 namespace ohpx::proto {
+namespace {
+
+std::atomic<bool> g_blocking_fallback{false};
+
+// The reactor already decoded the frame (header, body, CRC) on its loop
+// thread to demultiplex by correlation id — RawReply and ReplyMessage are
+// the same struct, so all that's left is the sanity the blocking path
+// gets from parse_reply_frame: right frame type, right request.
+ReplyMessage validate_reply(ReplyMessage reply,
+                            std::uint64_t expect_request_id) {
+  if (reply.header.type == wire::MessageType::request) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "request frame received where reply expected");
+  }
+  if (reply.header.request_id != expect_request_id) {
+    throw ProtocolError(ErrorCode::protocol_unknown,
+                        "reply for a different request id");
+  }
+  return reply;
+}
+
+}  // namespace
+
+void TcpProtocol::set_blocking_fallback(bool on) noexcept {
+  g_blocking_fallback.store(on, std::memory_order_relaxed);
+}
+
+bool TcpProtocol::blocking_fallback() noexcept {
+  return g_blocking_fallback.load(std::memory_order_relaxed);
+}
 
 bool TcpProtocol::applicable(const CallTarget& target) const {
   return target.address.tcp_port != 0 && !target.address.tcp_host.empty();
@@ -22,6 +56,61 @@ std::shared_ptr<transport::TcpChannel> TcpProtocol::channel_for(
 ReplyMessage TcpProtocol::invoke(const wire::MessageHeader& header,
                                  wire::Buffer& payload,
                                  const CallTarget& target, CostLedger& ledger) {
+  if (blocking_fallback()) {
+    return invoke_blocking(header, payload, target, ledger);
+  }
+  // Sync bridge over the reactor: submit, then park on the future.  The
+  // reactor throws backpressure/deadline refusals synchronously (before
+  // anything is queued) and surfaces wire-level failures through the
+  // future — either way they leave this frame as ordinary exceptions, so
+  // the retry/breaker machinery above sees exactly what it would from a
+  // blocking channel.
+  trace::Span span(trace::SpanKind::transport, "proto.tcp");
+  Future<transport::RawReply> future = transport::Reactor::global().submit(
+      target.address.tcp_host, target.address.tcp_port, header,
+      payload.view());
+  ledger.add_bytes_sent(wire::kHeaderSize + payload.size());
+  transport::RawReply raw;
+  {
+    ScopedRealTime timer(ledger);
+    try {
+      raw = future.get();
+    } catch (const TransportError& e) {
+      // Same contract as the blocking path: a cached connection gone stale
+      // (server restarted / migrated) fails the call once; retry once and
+      // the reactor re-dials the reaped connection fresh.  Backpressure is
+      // not staleness — it must surface unretried for the caller to pace.
+      if (e.code() == ErrorCode::backpressure) throw;
+      trace::event("retry.reconnect", "stale tcp connection dropped");
+      raw = transport::Reactor::global()
+                .submit(target.address.tcp_host, target.address.tcp_port,
+                        header, payload.view())
+                .get();
+    }
+  }
+  ledger.add_bytes_received(raw.frame_size);
+  return validate_reply(std::move(raw), header.request_id);
+}
+
+Future<ReplyMessage> TcpProtocol::invoke_async(
+    const wire::MessageHeader& header, wire::Buffer& payload,
+    const CallTarget& target) {
+  if (blocking_fallback()) {
+    return Protocol::invoke_async(header, payload, target);  // inline
+  }
+  // RawReply *is* ReplyMessage: the reactor's future passes through with
+  // no map stage — no shared-state allocation, no extra settlement, no
+  // type-erased continuation per call.  Request-id validation happens in
+  // the invocation layer's settlement (CallCore::finish_async_reply).
+  return transport::Reactor::global().submit(
+      target.address.tcp_host, target.address.tcp_port, header,
+      payload.view());
+}
+
+ReplyMessage TcpProtocol::invoke_blocking(const wire::MessageHeader& header,
+                                          wire::Buffer& payload,
+                                          const CallTarget& target,
+                                          CostLedger& ledger) {
   trace::Span span(trace::SpanKind::transport, "proto.tcp");
   auto channel = channel_for(target.address.tcp_host, target.address.tcp_port);
   try {

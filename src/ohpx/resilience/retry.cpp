@@ -37,6 +37,9 @@ bool is_retryable(ErrorCode code) noexcept {
     case ErrorCode::transport_connect_failed:
     case ErrorCode::transport_io:
     case ErrorCode::transport_unknown_endpoint:
+    // Window-full refusal: nothing was sent, so a backed-off re-attempt is
+    // always safe (and the natural reaction to transient overload).
+    case ErrorCode::backpressure:
     // Corruption caught by framing or by a checksum capability: the next
     // send is a fresh frame.
     case ErrorCode::wire_truncated:

@@ -26,6 +26,7 @@ inline constexpr const char* kRegistered[] = {
     "proto.relay",       // protocol: store-and-forward relay
     "proto.shm",         // protocol: shared-memory transfer
     "proto.tcp",         // protocol: TCP roundtrip
+    "reactor.backpressure",  // transport: inflight window full, call refused
     "retry.backoff",     // resilience: backoff wait before re-attempt
     "retry.error",       // resilience: attempt failed, not retryable
     "retry.error_reply", // resilience: remote error reply decoded

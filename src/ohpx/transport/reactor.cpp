@@ -1,0 +1,632 @@
+#include "ohpx/transport/reactor.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/common/log.hpp"
+#include "ohpx/resilience/clock.hpp"
+#include "ohpx/resilience/deadline.hpp"
+#include "ohpx/trace/trace.hpp"
+#include "ohpx/wire/buffer_pool.hpp"
+
+namespace ohpx::transport {
+namespace {
+
+constexpr std::size_t kMaxFrameSize = 256u << 20;  // matches tcp.cpp's cap
+constexpr std::size_t kLenPrefixSize = 4;
+
+void store_prefix(std::uint8_t* p, std::uint32_t size) noexcept {
+  p[0] = static_cast<std::uint8_t>(size >> 24);
+  p[1] = static_cast<std::uint8_t>(size >> 16);
+  p[2] = static_cast<std::uint8_t>(size >> 8);
+  p[3] = static_cast<std::uint8_t>(size);
+}
+
+std::exception_ptr make_transport_error(ErrorCode code,
+                                        const std::string& message) {
+  return std::make_exception_ptr(TransportError(code, message));
+}
+
+}  // namespace
+
+// ---- lifecycle -------------------------------------------------------------
+
+Reactor::Reactor(ReactorConfig config)
+    : config_(config), window_(config.inflight_window) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.max_batch_frames == 0) config_.max_batch_frames = 1;
+
+  // Resolve handles before any loop thread exists: MetricsRegistry::global()
+  // is thereby constructed before this Reactor and outlives it.
+  auto& registry = metrics::MetricsRegistry::global();
+  batches_ = registry.counter_handle("reactor.batches");
+  frames_ = registry.counter_handle("reactor.frames");
+  backpressure_ = registry.counter_handle("reactor.backpressure");
+  deadline_cancels_ = registry.counter_handle("reactor.deadline_cancelled");
+
+  shards_.reserve(config_.shards);
+  for (unsigned i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (shard->epoll_fd < 0) {
+      throw TransportError(ErrorCode::transport_io,
+                           std::string("epoll_create1: ") +
+                               std::strerror(errno));
+    }
+    shard->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (shard->event_fd < 0) {
+      ::close(shard->epoll_fd);
+      throw TransportError(ErrorCode::transport_io,
+                           std::string("eventfd: ") + std::strerror(errno));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr marks the wakeup eventfd
+    ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->event_fd, &ev);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->thread = std::thread([this, raw] { loop(*raw); });
+  }
+}
+
+Reactor::~Reactor() {
+  stop();
+  for (auto& shard : shards_) {
+    if (shard->event_fd >= 0) ::close(shard->event_fd);
+    if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+  }
+}
+
+void Reactor::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  for (auto& shard : shards_) {
+    {
+      sync::LockGuard lock(shard->mutex);
+      shard->stopping = true;
+    }
+    wake(*shard);
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+Reactor& Reactor::global() {
+  static Reactor instance;
+  return instance;
+}
+
+// ---- submit (caller thread) ------------------------------------------------
+
+Reactor::Shard& Reactor::shard_for(const std::string& host,
+                                   std::uint16_t port) noexcept {
+  const std::size_t h =
+      std::hash<std::string>{}(host) * 31 + std::hash<std::uint16_t>{}(port);
+  return *shards_[h % shards_.size()];
+}
+
+void Reactor::wake(Shard& shard) noexcept {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n =
+      ::write(shard.event_fd, &one, sizeof(one));  // EAGAIN = already armed
+}
+
+Future<RawReply> Reactor::submit(const std::string& host, std::uint16_t port,
+                                 const wire::MessageHeader& header,
+                                 BytesView payload) {
+  const std::int64_t deadline = resilience::current_deadline_ns();
+  if (resilience::deadline_expired(deadline)) {
+    throw DeadlineExceeded("deadline exceeded before transport send");
+  }
+
+  Shard& shard = shard_for(host, port);
+  Promise<RawReply> promise;
+
+  // Encode before taking the shard mutex: the loop thread holds it for
+  // whole processing passes, so every cycle spent under it by a submitter
+  // is a lock handoff waiting to happen.  A window-full refusal wastes
+  // this encode — acceptable for the exceptional path.
+  wire::MessageHeader stamped = header;
+  stamped.flags |= wire::kFlagCorrelation;
+  stamped.correlation_id =
+      next_correlation_.fetch_add(1, std::memory_order_relaxed);
+  OutFrame out;
+  wire::encode_frame_into(out.frame, stamped, payload);
+  store_prefix(out.prefix, static_cast<std::uint32_t>(out.frame.size()));
+
+  bool window_full = false;
+  std::size_t window_now = 0;
+  {
+    sync::LockGuard lock(shard.mutex);
+    if (shard.stopping) {
+      throw TransportError(ErrorCode::transport_closed, "reactor stopped");
+    }
+    auto& slot = shard.conns[{host, port}];
+    if (!slot) {
+      slot = std::make_unique<Connection>();
+      slot->host = host;
+      slot->port = port;
+      slot->inflight.reserve(window_.load(std::memory_order_relaxed));
+    }
+    Connection& conn = *slot;
+    window_now = window_.load(std::memory_order_relaxed);
+    if (conn.inflight.size() >= window_now) {
+      window_full = true;  // refuse outside the lock
+    } else {
+      conn.outq.push_back(std::move(out));
+
+      Pending pending;
+      pending.promise = promise;
+      pending.deadline_ns = deadline;
+      conn.inflight.emplace(stamped.correlation_id, std::move(pending));
+      if (deadline != resilience::kNoDeadline) ++conn.deadline_count;
+      shard.submit_seq.fetch_add(1, std::memory_order_seq_cst);
+    }
+  }
+  if (window_full) {
+    backpressure_->fetch_add(1, std::memory_order_relaxed);
+    trace::event("reactor.backpressure", "inflight window full");
+    throw TransportError(ErrorCode::backpressure,
+                         "inflight window full (" +
+                             std::to_string(window_now) + ") for " + host +
+                             ":" + std::to_string(port));
+  }
+  // Wake elision: while the loop is awake it services submissions at the
+  // end of its tick anyway, so the eventfd write (a syscall per call under
+  // fan-in) is only needed to interrupt an epoll_wait.
+  if (shard.asleep.load(std::memory_order_seq_cst)) wake(shard);
+  return promise.future();
+}
+
+void Reactor::set_inflight_window(std::size_t window) noexcept {
+  window_.store(window == 0 ? 1 : window, std::memory_order_relaxed);
+}
+
+std::size_t Reactor::inflight_window() const noexcept {
+  return window_.load(std::memory_order_relaxed);
+}
+
+std::size_t Reactor::pending_calls() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    sync::LockGuard lock(shard->mutex);
+    for (const auto& [key, conn] : shard->conns) {
+      total += conn->inflight.size();
+    }
+  }
+  return total;
+}
+
+void Reactor::poke() noexcept {
+  for (auto& shard : shards_) wake(*shard);
+}
+
+// ---- event loop ------------------------------------------------------------
+
+void Reactor::loop(Shard& shard) {
+  std::vector<epoll_event> events(64);
+  std::vector<Settlement> settled;
+  std::uint64_t serviced_seq = 0;
+
+  for (;;) {
+    int timeout_ms = -1;
+    bool exiting = false;
+    {
+      sync::LockGuard lock(shard.mutex);
+      if (shard.stopping) {
+        // Drain: every queued or awaiting call fails closed, connections
+        // close, and the thread exits after settling outside the lock.
+        for (auto& [key, conn] : shard.conns) {
+          fail_connection(shard, *conn, ErrorCode::transport_closed,
+                          "reactor stopped", settled);
+        }
+        shard.conns.clear();
+        exiting = true;
+      } else {
+        for (const auto& [key, conn] : shard.conns) {
+          if (conn->deadline_count > 0) {
+            timeout_ms = config_.poll_granularity_ms;
+            break;
+          }
+        }
+      }
+    }
+    if (exiting) {
+      for (auto& s : settled) s.settle();
+      settled.clear();
+      return;
+    }
+
+    // Sleep decision (Dekker handshake with submit): declare intent to
+    // sleep, then re-check for submissions that raced the declaration —
+    // they saw asleep == false and skipped the eventfd, so poll instead
+    // of parking.
+    shard.asleep.store(true, std::memory_order_seq_cst);
+    if (shard.submit_seq.load(std::memory_order_seq_cst) != serviced_seq) {
+      timeout_ms = 0;
+    }
+    const int n = ::epoll_wait(shard.epoll_fd, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    shard.asleep.store(false, std::memory_order_seq_cst);
+    if (n < 0 && errno != EINTR) {
+      log_warn("reactor", "epoll_wait failed: ", std::strerror(errno));
+      return;
+    }
+
+    {
+      sync::LockGuard lock(shard.mutex);
+      for (int i = 0; i < (n < 0 ? 0 : n); ++i) {
+        if (events[i].data.ptr == nullptr) {
+          std::uint64_t drained = 0;
+          [[maybe_unused]] ssize_t r =
+              ::read(shard.event_fd, &drained, sizeof(drained));
+          continue;
+        }
+        auto* conn = static_cast<Connection*>(events[i].data.ptr);
+        if (conn->fd < 0) continue;  // failed earlier in this batch
+        const std::uint32_t ev = events[i].events;
+        if (conn->connecting && (ev & (EPOLLOUT | EPOLLERR | EPOLLHUP))) {
+          finish_connect(shard, *conn, settled);
+          continue;
+        }
+        if (ev & EPOLLIN) read_ready(shard, *conn, settled);
+        if (conn->fd >= 0 && (ev & EPOLLOUT)) flush(shard, *conn, settled);
+        if (conn->fd >= 0 && (ev & (EPOLLERR | EPOLLHUP))) {
+          fail_connection(shard, *conn, ErrorCode::transport_closed,
+                          "connection reset", settled);
+        }
+      }
+      // Everything enqueued up to this point (we hold the shard mutex, and
+      // submit bumps the sequence inside it) is serviced by this pass.
+      serviced_seq = shard.submit_seq.load(std::memory_order_relaxed);
+      service_submissions(shard, settled);
+      cancel_expired(shard, settled);
+
+      // Reap connections that failed during this tick (fd already closed;
+      // the record only lingered so epoll_event pointers stayed valid).
+      for (auto it = shard.conns.begin(); it != shard.conns.end();) {
+        if (it->second->fd < 0 && it->second->inflight.empty() &&
+            it->second->outq.empty()) {
+          it = shard.conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& s : settled) s.settle();
+    settled.clear();
+  }
+}
+
+// Gives every connection with staged work a socket and a flush: called
+// once per tick, so frames submitted while the loop was busy leave in one
+// coalesced batch (flush-on-idle).
+void Reactor::service_submissions(Shard& shard,
+                                  std::vector<Settlement>& out) {
+  for (auto& [key, conn] : shard.conns) {
+    if (conn->outq.empty()) continue;
+    if (conn->fd < 0) {
+      open_connection(shard, *conn, out);
+      if (conn->fd < 0 || conn->connecting) continue;
+    }
+    if (!conn->connecting && !conn->want_write) {
+      flush(shard, *conn, out);
+    }
+  }
+}
+
+void Reactor::open_connection(Shard& shard, Connection& conn,
+                              std::vector<Settlement>& out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    fail_connection(shard, conn, ErrorCode::transport_connect_failed,
+                    std::string("socket: ") + std::strerror(errno), out);
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(conn.port);
+  if (::inet_pton(AF_INET, conn.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    fail_connection(shard, conn, ErrorCode::transport_connect_failed,
+                    "bad address: " + conn.host, out);
+    return;
+  }
+  conn.fd = fd;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      fail_connection(shard, conn, ErrorCode::transport_connect_failed,
+                      std::string("connect: ") + std::strerror(errno), out);
+      return;
+    }
+    conn.connecting = true;
+  }
+  update_interest(shard, conn, /*want_write=*/conn.connecting);
+}
+
+void Reactor::finish_connect(Shard& shard, Connection& conn,
+                             std::vector<Settlement>& out) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    err = errno;
+  }
+  if (err != 0) {
+    fail_connection(shard, conn, ErrorCode::transport_connect_failed,
+                    std::string("connect: ") + std::strerror(err), out);
+    return;
+  }
+  conn.connecting = false;
+  update_interest(shard, conn, /*want_write=*/false);
+  flush(shard, conn, out);
+}
+
+// Drains the outbound queue in gather-write batches.  Each sendmsg carries
+// up to max_batch_frames (prefix, frame) iovec pairs within
+// max_batch_bytes (flush-on-budget); a short write advances out_offset
+// into the front entry, EAGAIN arms EPOLLOUT and yields.
+void Reactor::flush(Shard& shard, Connection& conn,
+                    std::vector<Settlement>& out) {
+  while (!conn.outq.empty()) {
+    iovec iov[512];
+    std::size_t iov_count = 0;
+    std::size_t batch_bytes = 0;
+    std::size_t batch_frames = 0;
+    std::size_t skip = conn.out_offset;
+    for (auto it = conn.outq.begin();
+         it != conn.outq.end() && batch_frames < config_.max_batch_frames &&
+         iov_count + 2 <= 512 && batch_bytes < config_.max_batch_bytes;
+         ++it, ++batch_frames) {
+      const std::uint8_t* prefix = it->prefix;
+      std::size_t prefix_len = kLenPrefixSize;
+      const std::uint8_t* body = it->frame.data();
+      std::size_t body_len = it->frame.size();
+      if (skip > 0) {  // only ever nonzero for the front entry
+        const std::size_t prefix_skip = std::min(skip, prefix_len);
+        prefix += prefix_skip;
+        prefix_len -= prefix_skip;
+        const std::size_t body_skip = skip - prefix_skip;
+        body += body_skip;
+        body_len -= body_skip;
+        skip = 0;
+      }
+      if (prefix_len > 0) {
+        iov[iov_count].iov_base = const_cast<std::uint8_t*>(prefix);
+        iov[iov_count].iov_len = prefix_len;
+        ++iov_count;
+      }
+      if (body_len > 0) {
+        iov[iov_count].iov_base = const_cast<std::uint8_t*>(body);
+        iov[iov_count].iov_len = body_len;
+        ++iov_count;
+      }
+      batch_bytes += prefix_len + body_len;
+    }
+    if (iov_count == 0) {  // fully-sent front entry (should not persist)
+      conn.outq.pop_front();
+      conn.out_offset = 0;
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        update_interest(shard, conn, /*want_write=*/true);
+        return;
+      }
+      fail_connection(shard, conn, ErrorCode::transport_io,
+                      std::string("sendmsg: ") + std::strerror(errno), out);
+      return;
+    }
+    batches_->fetch_add(1, std::memory_order_relaxed);
+    std::size_t sent = static_cast<std::size_t>(n);
+    conn.out_offset += sent;
+    while (!conn.outq.empty()) {
+      const std::size_t entry_size =
+          kLenPrefixSize + conn.outq.front().frame.size();
+      if (conn.out_offset < entry_size) break;
+      conn.out_offset -= entry_size;
+      // Fully on the wire: recycle the frame allocation through this
+      // thread's pool, where drain_inbuf's reply-body acquisitions pick
+      // it right back up.
+      wire::BufferPool::local().release(std::move(conn.outq.front().frame));
+      conn.outq.pop_front();
+      frames_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (conn.want_write) update_interest(shard, conn, /*want_write=*/false);
+}
+
+// Parses every complete length-prefixed frame out of conn.inbuf, settling
+// the pending call each one correlates to.  Replies whose call was already
+// cancelled (deadline) demux to nothing and are dropped.  Returns false
+// when the connection was failed (unsyncable stream).
+bool Reactor::drain_inbuf(Shard& shard, Connection& conn,
+                          std::vector<Settlement>& out) {
+  std::size_t consumed = 0;
+  while (conn.inbuf.size() - consumed >= kLenPrefixSize) {
+    const std::uint8_t* p = conn.inbuf.data() + consumed;
+    const std::size_t frame_size = (static_cast<std::size_t>(p[0]) << 24) |
+                                   (static_cast<std::size_t>(p[1]) << 16) |
+                                   (static_cast<std::size_t>(p[2]) << 8) |
+                                   static_cast<std::size_t>(p[3]);
+    if (frame_size > kMaxFrameSize) {
+      fail_connection(shard, conn, ErrorCode::transport_io,
+                      "frame exceeds size cap", out);
+      return false;
+    }
+    if (conn.inbuf.size() - consumed - kLenPrefixSize < frame_size) break;
+    const BytesView frame_view(p + kLenPrefixSize, frame_size);
+    consumed += kLenPrefixSize + frame_size;
+    try {
+      BytesView body;
+      const wire::MessageHeader header = wire::decode_frame(frame_view, body);
+      if (!header.has_correlation()) {
+        log_warn("reactor", "reply without correlation id dropped");
+        continue;
+      }
+      const auto it = conn.inflight.find(header.correlation_id);
+      if (it == conn.inflight.end()) continue;  // call already cancelled
+      // Copy only the body out of the read buffer, and only for a call
+      // that still wants the reply — a cancelled call's reply costs zero
+      // allocations.  The body buffer comes from this thread's pool: the
+      // stub's decode continuation runs on this same loop thread and
+      // releases the payload back, so steady-state fan-in recycles a
+      // handful of warm buffers instead of allocating per reply.
+      Settlement s;
+      s.promise = std::move(it->second.promise);
+      s.reply.header = header;
+      s.reply.frame_size = frame_size;
+      s.reply.payload = wire::BufferPool::local().acquire(body.size());
+      s.reply.payload.append(body);
+      if (it->second.deadline_ns != resilience::kNoDeadline) {
+        --conn.deadline_count;
+      }
+      conn.inflight.erase(it);
+      out.push_back(std::move(s));
+    } catch (const WireError& e) {
+      // A corrupt frame on a byte stream cannot be resynchronized.
+      fail_connection(shard, conn, ErrorCode::transport_io,
+                      std::string("corrupt reply frame: ") + e.what(), out);
+      return false;
+    }
+  }
+  if (consumed > 0) {
+    conn.inbuf.erase(conn.inbuf.begin(),
+                     conn.inbuf.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  return true;
+}
+
+// Reads until EAGAIN in bulk chunks — one recv covers many pipelined
+// replies — parsing frames out of the buffer after each chunk.
+void Reactor::read_ready(Shard& shard, Connection& conn,
+                         std::vector<Settlement>& out) {
+  constexpr std::size_t kReadChunk = 256u << 10;
+  for (;;) {
+    const std::size_t old_size = conn.inbuf.size();
+    conn.inbuf.resize(old_size + kReadChunk);
+    const ssize_t n = ::recv(conn.fd, conn.inbuf.data() + old_size,
+                             kReadChunk, 0);
+    if (n < 0) {
+      conn.inbuf.resize(old_size);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      fail_connection(shard, conn, ErrorCode::transport_io,
+                      std::string("recv: ") + std::strerror(errno), out);
+      return;
+    }
+    if (n == 0) {
+      conn.inbuf.resize(old_size);
+      fail_connection(shard, conn, ErrorCode::transport_closed,
+                      old_size == 0 ? "connection closed"
+                                    : "connection closed mid-frame",
+                      out);
+      return;
+    }
+    conn.inbuf.resize(old_size + static_cast<std::size_t>(n));
+    if (!drain_inbuf(shard, conn, out)) return;
+  }
+}
+
+// Fails every pending call on `conn` and closes its socket.  The record
+// stays in the map (fd = -1) until the end of the tick so epoll_event
+// pointers from this batch remain valid; a later submit() reuses it.
+void Reactor::fail_connection(Shard& shard, Connection& conn, ErrorCode code,
+                              const std::string& message,
+                              std::vector<Settlement>& out) {
+  const std::exception_ptr error = make_transport_error(
+      code, "tcp " + conn.host + ":" + std::to_string(conn.port) + ": " +
+                message);
+  for (auto& [corr, pending] : conn.inflight) {
+    Settlement s;
+    s.promise = std::move(pending.promise);
+    s.error = error;
+    out.push_back(std::move(s));
+  }
+  conn.inflight.clear();
+  conn.deadline_count = 0;
+  conn.outq.clear();
+  conn.out_offset = 0;
+  conn.inbuf.clear();
+  if (conn.fd >= 0) {
+    if (conn.registered) {
+      ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    }
+    ::close(conn.fd);
+  }
+  conn.fd = -1;
+  conn.connecting = false;
+  conn.registered = false;
+  conn.want_write = false;
+}
+
+// Deadline sweep on the resilience clock (ManualClock-compatible): any
+// pending call whose deadline has passed settles with DeadlineExceeded.
+// The reply may still arrive; it then finds no inflight entry and is
+// dropped — settlement stays once-only either way.
+void Reactor::cancel_expired(Shard& shard, std::vector<Settlement>& out) {
+  bool any = false;
+  for (const auto& [key, conn] : shard.conns) {
+    if (conn->deadline_count > 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  const std::int64_t now = resilience::now_ns();
+  for (auto& [key, conn] : shard.conns) {
+    if (conn->deadline_count == 0) continue;
+    for (auto it = conn->inflight.begin(); it != conn->inflight.end();) {
+      if (it->second.deadline_ns != resilience::kNoDeadline &&
+          now >= it->second.deadline_ns) {
+        Settlement s;
+        s.promise = std::move(it->second.promise);
+        s.error = std::make_exception_ptr(
+            DeadlineExceeded("deadline exceeded awaiting reply"));
+        out.push_back(std::move(s));
+        deadline_cancels_->fetch_add(1, std::memory_order_relaxed);
+        --conn->deadline_count;
+        it = conn->inflight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Reactor::update_interest(Shard& shard, Connection& conn,
+                              bool want_write) {
+  if (conn.registered && conn.want_write == want_write) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.ptr = &conn;
+  const int op = conn.registered ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (::epoll_ctl(shard.epoll_fd, op, conn.fd, &ev) < 0) {
+    log_warn("reactor", "epoll_ctl failed: ", std::strerror(errno));
+  }
+  conn.registered = true;
+  conn.want_write = want_write;
+}
+
+}  // namespace ohpx::transport

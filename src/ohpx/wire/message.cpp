@@ -56,7 +56,8 @@ Buffer encode_frame(const MessageHeader& header, BytesView body) {
 
 void encode_frame_into(Buffer& out, const MessageHeader& header,
                        BytesView body) {
-  std::uint8_t raw[kHeaderSize + kTraceExtensionSize + kDeadlineExtensionSize];
+  std::uint8_t raw[kHeaderSize + kTraceExtensionSize + kDeadlineExtensionSize +
+                   kCorrelationExtensionSize];
   store_be32(raw, kFrameMagic);
   raw[4] = kWireVersion;
   raw[5] = static_cast<std::uint8_t>(header.type);
@@ -76,6 +77,10 @@ void encode_frame_into(Buffer& out, const MessageHeader& header,
   if (header.has_deadline()) {
     store_be64(raw + prefix, static_cast<std::uint64_t>(header.deadline_ns));
     prefix += kDeadlineExtensionSize;
+  }
+  if (header.has_correlation()) {
+    store_be64(raw + prefix, header.correlation_id);
+    prefix += kCorrelationExtensionSize;
   }
   out.clear();
   out.reserve(prefix + body.size());
@@ -130,6 +135,14 @@ MessageHeader decode_frame(BytesView frame, BytesView& body) {
     header.deadline_ns =
         static_cast<std::int64_t>(load_be64(raw + prefix));
     prefix += kDeadlineExtensionSize;
+  }
+  if (header.has_correlation()) {
+    if (frame.size() < prefix + kCorrelationExtensionSize) {
+      throw WireError(ErrorCode::wire_truncated,
+                      "frame shorter than correlation extension");
+    }
+    header.correlation_id = load_be64(raw + prefix);
+    prefix += kCorrelationExtensionSize;
   }
   body = frame.subspan(prefix);
   return header;

@@ -35,6 +35,15 @@
 // extension it is advisory and outside the CRC; the server tightens its
 // dispatch budget against it, it never loosens anything.
 //
+// When kFlagCorrelation is set, an 8-byte correlation-id extension follows
+// the deadline extension (or whichever earlier extension is present; the
+// extension order is fixed: trace, deadline, correlation).  The id is
+// assigned by a multiplexing transport (the epoll reactor) per in-flight
+// call on one connection and echoed verbatim in the matching reply —
+// including error replies — so replies arriving out of order demultiplex
+// to the right caller.  Like the other extensions it is advisory and
+// outside the CRC.
+//
 // The body of an error reply is { u32 error-code, string message } so the
 // client can rethrow the server-side failure with full fidelity.
 #pragma once
@@ -51,6 +60,7 @@ inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderSize = 32;
 inline constexpr std::size_t kTraceExtensionSize = 25;
 inline constexpr std::size_t kDeadlineExtensionSize = 8;
+inline constexpr std::size_t kCorrelationExtensionSize = 8;
 
 enum class MessageType : std::uint8_t {
   request = 1,
@@ -66,6 +76,7 @@ enum : std::uint16_t {
   kFlagGlueProcessed = 1u << 0,
   kFlagTraceContext = 1u << 1,
   kFlagDeadline = 1u << 2,
+  kFlagCorrelation = 1u << 3,
 };
 
 enum : std::uint8_t {
@@ -91,6 +102,11 @@ struct MessageHeader {
   // nanoseconds on the resilience clock, 0 = unbounded.
   std::int64_t deadline_ns = 0;
 
+  // Correlation extension (meaningful iff flags & kFlagCorrelation):
+  // transport-assigned per-call id, echoed in the reply for demux on a
+  // multiplexed connection.
+  std::uint64_t correlation_id = 0;
+
   bool has_trace() const noexcept {
     return (flags & kFlagTraceContext) != 0;
   }
@@ -99,7 +115,23 @@ struct MessageHeader {
     return (flags & kFlagDeadline) != 0;
   }
 
+  bool has_correlation() const noexcept {
+    return (flags & kFlagCorrelation) != 0;
+  }
+
   friend bool operator==(const MessageHeader&, const MessageHeader&) = default;
+};
+
+/// A decoded reply: header plus the body copied out of the frame.  This
+/// one struct is the reply vocabulary of every layer above the wire —
+/// the protocol layer's ReplyMessage and the reactor's RawReply are both
+/// aliases of it — so a reply decoded once on the reactor loop flows to
+/// the stub's continuation without a re-decode or a per-layer repack.
+struct ReplyEnvelope {
+  MessageHeader header;
+  Buffer payload;
+  /// Encoded frame size (length prefix excluded), for byte accounting.
+  std::size_t frame_size = 0;
 };
 
 /// Serializes header + body into one contiguous frame.

@@ -58,7 +58,7 @@ TEST_F(ExtensionFixture, AsyncCallsOverlap) {
   auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<CounterServant>()).build();
   scenario::CounterStub stub(*client_ctx_, ref);
 
-  std::vector<std::future<std::int64_t>> futures;
+  std::vector<ohpx::Future<std::int64_t>> futures;
   for (int i = 0; i < 16; ++i) {
     futures.push_back(stub.call_async<std::int64_t>(CounterServant::kAdd,
                                                     std::int64_t{1}));

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""check_bench_json: gate benchmark JSON emitted by the bench suite.
+
+Two gates, both expressed as *within-run ratios* rather than absolute
+nanoseconds: CI runners (and shared-host dev boxes) differ wildly in raw
+speed and in neighbor noise, but both arms of a ratio share the same run,
+the same machine, and the same noise — so the ratio is the portable
+quantity.
+
+  fanin     BENCH_fanin.json must show the reactor beating the blocking
+            thread-per-call arm by at least --min-speedup at matched
+            concurrency (the tentpole claim: one event loop with N calls
+            in flight vs. N parked threads).
+
+  fastpath  BENCH_fastpath.json must keep the selection cache's
+            cached-over-uncached speedup within --tolerance of the
+            committed baseline's speedup.  A hot-path regression that
+            slows *only* the cached arm shrinks the ratio and trips the
+            gate; noise that slows the whole run does not (it moves both
+            arms together).  This is the "<5% cached-p50 regression"
+            budget in ratio form.
+
+Usage:
+  python3 tools/check_bench_json.py fanin FANIN.json [--min-speedup 2.0]
+  python3 tools/check_bench_json.py fastpath FRESH.json BASELINE.json \
+      [--tolerance 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> int:
+    print(f"check_bench_json: FAIL: {message}")
+    return 1
+
+
+def load_records(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(fail(f"{path}: {error}"))
+    records = doc.get("benchmarks")
+    if not isinstance(records, list):
+        raise SystemExit(fail(f"{path}: no top-level 'benchmarks' list"))
+    return {r.get("name"): r for r in records if isinstance(r, dict)}
+
+
+def record_value(records: dict, path: str, name: str, key: str) -> float:
+    record = records.get(name)
+    if record is None:
+        raise SystemExit(fail(f"{path}: missing record '{name}'"))
+    value = record.get(key)
+    if not isinstance(value, (int, float)):
+        raise SystemExit(fail(f"{path}: '{name}' lacks numeric '{key}'"))
+    return float(value)
+
+
+def check_fanin(options: argparse.Namespace) -> int:
+    records = load_records(options.json)
+    speedup = record_value(records, options.json, "fanin/speedup",
+                           "reactor_over_blocking")
+    inflight = record_value(records, options.json, "fanin/speedup",
+                            "inflight")
+    if speedup < options.min_speedup:
+        return fail(
+            f"fanin speedup {speedup:.2f}x @ {inflight:.0f} in flight is "
+            f"below the {options.min_speedup:.2f}x floor")
+    print(f"check_bench_json: OK: fanin reactor/blocking {speedup:.2f}x "
+          f"@ {inflight:.0f} in flight (floor {options.min_speedup:.2f}x)")
+    return 0
+
+
+def check_fastpath(options: argparse.Namespace) -> int:
+    fresh = load_records(options.json)
+    base = load_records(options.baseline)
+    fresh_speedup = record_value(fresh, options.json,
+                                 "invoke_fastpath/speedup",
+                                 "cached_over_uncached")
+    base_speedup = record_value(base, options.baseline,
+                                "invoke_fastpath/speedup",
+                                "cached_over_uncached")
+    floor = base_speedup * (1.0 - options.tolerance)
+    if fresh_speedup < floor:
+        return fail(
+            f"fastpath cached/uncached speedup {fresh_speedup:.2f}x fell "
+            f"below {floor:.2f}x (baseline {base_speedup:.2f}x minus "
+            f"{options.tolerance:.0%} tolerance) — the cached arm "
+            f"regressed relative to the uncached arm")
+    print(f"check_bench_json: OK: fastpath cached/uncached "
+          f"{fresh_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+          f"(floor {floor:.2f}x)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    fanin = sub.add_parser("fanin", help="gate BENCH_fanin.json")
+    fanin.add_argument("json", help="fanin bench JSON")
+    fanin.add_argument("--min-speedup", type=float, default=2.0,
+                       help="minimum reactor/blocking speedup "
+                            "(default 2.0 — the smoke-run floor; full "
+                            "runs target 10)")
+    fanin.set_defaults(run=check_fanin)
+
+    fastpath = sub.add_parser("fastpath", help="gate BENCH_fastpath.json")
+    fastpath.add_argument("json", help="freshly produced fastpath JSON")
+    fastpath.add_argument("baseline", help="committed baseline JSON")
+    fastpath.add_argument("--tolerance", type=float, default=0.05,
+                          help="allowed relative speedup loss "
+                               "(default 0.05 = 5%%)")
+    fastpath.set_defaults(run=check_fastpath)
+
+    options = parser.parse_args()
+    return options.run(options)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

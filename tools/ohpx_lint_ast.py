@@ -27,6 +27,15 @@ Rules:
                      send.  src/ohpx/transport/ itself is exempt: a
                      channel serializing its own fd (TcpChannel::io_mutex_)
                      is that lock's entire point.
+  blocking-socket    global-scope blocking socket syscalls (::connect,
+                     ::send, ::recv, ::read, ::write, ::accept, ::poll,
+                     ::select, ::writev, ::sendmsg, ...) are banned
+                     outside src/ohpx/transport/.  Everything above the
+                     transport layer talks through Reactor::submit or a
+                     Channel, which own nonblocking I/O, fd lifecycle
+                     and the inflight-window contract; a raw blocking
+                     syscall parks a caller thread the reactor cannot
+                     see.
   error-consistency  cross-file contracts that no single TU sees:
                        * every ErrorCode enumerator has a name in
                          to_string (src/ohpx/common/error.cpp) and an
@@ -331,6 +340,22 @@ class LibclangEngine:
 
 
 # ---------------------------------------------------------------------------
+# blocking-socket (engine-independent: a global-qualified call is
+# unambiguous in stripped text, no AST needed)
+
+BLOCKING_SOCKET_CALLS = (
+    "connect", "accept", "accept4",
+    "send", "sendto", "sendmsg", "recv", "recvfrom", "recvmsg",
+    "read", "write", "readv", "writev",
+    "poll", "ppoll", "select", "pselect",
+)
+# `::name(` where the `::` is global scope — not `Foo::read(` (preceded by
+# an identifier or template argument close) and not `ohpx::send(`.
+BLOCKING_SOCKET_RE = re.compile(
+    r"(?<![\w>])::\s*(" + "|".join(BLOCKING_SOCKET_CALLS) + r")\s*\(")
+
+
+# ---------------------------------------------------------------------------
 # error-consistency (engine-independent: the contract is cross-file text)
 
 SPAN_CALL_RE = re.compile(r"\bSpan\s+\w+\s*\(")
@@ -477,6 +502,23 @@ class ConsistencyChecker:
         args.append("".join(current))
         return args
 
+    def check_blocking_sockets(self, findings: Findings) -> None:
+        src = self.root / "src"
+        for source in sorted(src.rglob("*.hpp")) + sorted(src.rglob("*.cpp")):
+            if is_under(source, self.root, TRANSPORT_DIR):
+                continue  # the transport layer owns its fds
+            clean = strip_comments_and_strings(
+                source.read_text(encoding="utf-8", errors="replace"))
+            for lineno, line in enumerate(clean.splitlines(), 1):
+                for match in BLOCKING_SOCKET_RE.finditer(line):
+                    findings.report(
+                        source, lineno, "blocking-socket",
+                        f"::{match.group(1)}() outside src/ohpx/transport/ "
+                        "— blocking socket I/O belongs to the transport "
+                        "layer (Reactor::submit for async, Channel for the "
+                        "sync bearer); a raw syscall parks a thread the "
+                        "reactor cannot see")
+
     def check_span_names(self, findings: Findings) -> None:
         registered = self._registered_span_names()
         if not registered:
@@ -523,6 +565,7 @@ def run(root: Path, engine_name: str, compile_commands: Path) -> int:
     engine.check_naked_mutex(findings)
     engine.check_lock_across_send(findings)
     checker = ConsistencyChecker(root)
+    checker.check_blocking_sockets(findings)
     checker.check_error_codes(findings)
     checker.check_span_names(findings)
     for violation in findings.sorted():
@@ -531,7 +574,7 @@ def run(root: Path, engine_name: str, compile_commands: Path) -> int:
         print(f"ohpx-lint-ast[{engine.name}]: "
               f"{len(findings.violations)} violation(s)")
         return 1
-    print(f"ohpx-lint-ast[{engine.name}]: OK (3 rules clean)")
+    print(f"ohpx-lint-ast[{engine.name}]: OK (4 rules clean)")
     return 0
 
 
@@ -612,16 +655,19 @@ class Caller {
 TRANSPORT_TCP_CPP = """\
 #include "ohpx/sync/mutex.hpp"
 #include "ohpx/transport/channel.hpp"
+extern "C" long send(int, const void*, unsigned long, int);
 namespace ohpx::transport {
 class TcpChannel : public Channel {
  public:
   Buffer roundtrip(const Buffer& request) override {
     sync::LockGuard lock(io_mutex_);  // exempt: serializes this fd
     Buffer reply = request;
+    ::send(fd_, &reply, sizeof(reply), 0);  // exempt: transport owns fds
     return reply;
   }
  private:
   sync::Mutex io_mutex_{"transport.tcp.io"};
+  int fd_ = -1;
 };
 }  // namespace ohpx::transport
 """
@@ -713,6 +759,7 @@ def _collect(root: Path, engine) -> list[str]:
     engine.check_naked_mutex(findings)
     engine.check_lock_across_send(findings)
     checker = ConsistencyChecker(root)
+    checker.check_blocking_sockets(findings)
     checker.check_error_codes(findings)
     checker.check_span_names(findings)
     return findings.sorted()
@@ -813,6 +860,24 @@ def self_test() -> int:
              '    "rmi.invoke",',
              '    "rmi.invoke",\n    "orb.ghost",'),
          ['"orb.ghost" has no call site']),
+        ("blocking socket syscall above transport",
+         "src/ohpx/protocol/rawsock.cpp",
+         'extern "C" long send(int, const void*, unsigned long, int);\n'
+         'extern "C" int connect(int, const void*, unsigned int);\n'
+         "namespace ohpx::proto {\n"
+         "void leak(int fd, const void* buf, unsigned long len) {\n"
+         "  ::connect(fd, buf, 0);\n"
+         "  ::send(fd, buf, len, 0);\n"
+         "}\n"
+         "}  // namespace ohpx::proto\n",
+         ["[blocking-socket]"]),
+        ("qualified read() is not a syscall",
+         "src/ohpx/orb/reader.cpp",
+         "namespace ohpx::orb {\n"
+         "struct Codec { long read(void*, unsigned long); };\n"
+         "void f(Codec& codec, void* buf) { codec.Codec::read(buf, 1); }\n"
+         "}  // namespace ohpx::orb\n",
+         []),  # member-qualified call must NOT trip the rule
     ]
 
     for engine_name, factory in engine_factories:
@@ -856,12 +921,17 @@ def self_test() -> int:
                    f"[{engine_name}] std::mutex inside ohpx/sync flagged: "
                    f"{violations}")
 
-    # 4. Consistency rules (engine-independent): injected drift is caught.
+    # 4. Consistency rules (engine-independent): injected drift is caught;
+    #    a fixture with no needles asserts the injection stays clean.
     for label, rel, text, needles in consistency_injections:
         with tempfile.TemporaryDirectory() as tmp:
             root = _make_tree(Path(tmp))
             _write_in(root / rel, text)
             violations = _collect(root, RegexEngine(root))
+            if not needles:
+                expect(not violations,
+                       f"{label}: expected no violations "
+                       f"(got: {violations})")
             for needle in needles:
                 expect(any(needle in v for v in violations),
                        f"{label}: expected a violation mentioning "
