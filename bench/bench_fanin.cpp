@@ -20,15 +20,22 @@
 // Hand-rolled main (not google-benchmark): the fan-in arms need a
 // sliding window of futures / a thread fleet, not a per-iteration
 // callable.  Flags: --smoke (short run for CI), --json <path> (defaults
-// to BENCH_fanin.json in the working directory).
+// to BENCH_fanin.json in the working directory), --metrics-port N
+// (serve the live introspection exposition on N while the bench runs —
+// CI scrapes it mid-soak to validate the exporter under real load),
+// --metrics-hold SEC (keep the process and exporter alive that long
+// after the arms finish, so a scraper always has a window).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_support.hpp"
+#include "ohpx/introspect/http_exporter.hpp"
 #include "ohpx/orb/ref_builder.hpp"
 #include "ohpx/protocol/tcp_proto.hpp"
 #include "ohpx/runtime/world.hpp"
@@ -137,8 +144,30 @@ int run(int argc, char** argv) {
   std::string json_path = consume_json_flag(argc, argv);
   if (json_path.empty()) json_path = "BENCH_fanin.json";
   bool smoke = false;
+  std::uint16_t metrics_port = 0;
+  bool serve_metrics = false;
+  double metrics_hold_s = 0.0;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") smoke = true;
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      // Port 0 is valid: the kernel picks, and the bench prints the
+      // bound port for the scraper.
+      metrics_port = static_cast<std::uint16_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+      serve_metrics = true;
+    } else if (arg == "--metrics-hold" && i + 1 < argc) {
+      metrics_hold_s = std::strtod(argv[++i], nullptr);
+    }
+  }
+
+  std::optional<introspect::IntrospectHttpServer> exporter;
+  if (serve_metrics) {
+    exporter.emplace(metrics_port);
+    std::printf("fanin: metrics exporter on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(exporter->port()));
+    std::fflush(stdout);
   }
   // The concurrent arms run >=1k calls in flight (the reactor window
   // defaults to 1024, so 1000 never trips backpressure); the blocking
@@ -196,6 +225,11 @@ int run(int argc, char** argv) {
     return 1;
   }
   std::printf("  wrote %s\n", json_path.c_str());
+  if (exporter && metrics_hold_s > 0.0) {
+    std::printf("fanin: holding exporter open for %.1fs\n", metrics_hold_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(metrics_hold_s));
+  }
   return 0;
 }
 

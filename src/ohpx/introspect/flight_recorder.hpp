@@ -1,0 +1,110 @@
+// Always-on flight recorder: a bounded ring of the most recent notable
+// events (errors, retries, breaker trips, deadline cancellations, reactor
+// stalls) with the trace context that was ambient when each was recorded.
+//
+// The recorder answers the first question of every incident — "what was
+// the ORB doing right before it went wrong?" — without requiring tracing
+// or verbose logging to have been enabled in advance.  Producers sit only
+// on cold paths (an error was already being thrown, a breaker already
+// tripped), so a short critical section per record is acceptable; the hot
+// call path never touches the recorder.
+//
+// The ring is dumped three ways:
+//   - on demand: dump() / the IntrospectServant's flightrecorder method /
+//     the HTTP exporter's /flightrecorder endpoint;
+//   - when the reactor's stall watchdog fires (transport/reactor.cpp logs
+//     the dump on the first stall);
+//   - on fatal signal, best-effort, when install_fatal_signal_dump() was
+//     called: the handler renders the ring to stderr without locking
+//     (async-signal-unsafe by the letter of the law, but the process is
+//     dying anyway — the alternative is losing the evidence).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ohpx/common/annotations.hpp"
+#include "ohpx/common/error.hpp"
+#include "ohpx/sync/mutex.hpp"
+
+namespace ohpx::introspect {
+
+enum class EventKind : std::uint8_t {
+  error = 0,         // an attempt failed (transport fault, error reply)
+  retry = 1,         // the invocation layer is re-attempting a call
+  breaker_open = 2,  // a circuit breaker tripped open
+  breaker_close = 3, // a half-open breaker closed after a probe success
+  deadline = 4,      // a call was cancelled by its deadline budget
+  backpressure = 5,  // an inflight-window refusal
+  stall = 6,         // the reactor's event loop exceeded its lag threshold
+};
+
+const char* to_string(EventKind kind) noexcept;
+
+class FlightRecorder {
+ public:
+  /// Ring depth: the last kCapacity events are retained, oldest evicted.
+  static constexpr std::size_t kCapacity = 256;
+
+  /// Longest detail string retained per record (fixed storage so the
+  /// fatal-signal renderer never allocates).
+  static constexpr std::size_t kDetailCapacity = 96;
+
+  struct Record {
+    std::int64_t wall_ns = 0;  // system clock at record time
+    std::uint64_t seq = 0;     // monotonically increasing, never reused
+    std::uint64_t trace_hi = 0, trace_lo = 0;  // ambient trace (0 = none)
+    std::uint16_t code = 0;    // raw ErrorCode (0 = not error-coded)
+    EventKind kind = EventKind::error;
+    char detail[kDetailCapacity] = {0};  // NUL-terminated, truncated
+  };
+
+  /// Process-wide recorder every producer feeds.
+  static FlightRecorder& global();
+
+  /// Appends one event; captures the calling thread's ambient trace
+  /// context.  `detail` is truncated to kDetailCapacity - 1 bytes.
+  void record(EventKind kind, ErrorCode code, std::string_view detail);
+
+  /// The retained records, oldest first.
+  std::vector<Record> snapshot() const;
+
+  /// Human-readable dump of snapshot(), one line per record.
+  std::string dump() const;
+
+  /// Events recorded since process start (monotonic; exceeds size() once
+  /// the ring has wrapped).
+  std::uint64_t total_recorded() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return kCapacity; }
+
+  /// Drops all retained records (sequence numbers keep counting).
+  void clear();
+
+  /// Installs SIGSEGV/SIGABRT/SIGBUS handlers that render the ring to
+  /// stderr before re-raising with the default disposition.  Idempotent.
+  /// Opt-in: long-lived daemons and tools call it, libraries never do.
+  static void install_fatal_signal_dump();
+
+ private:
+  friend void fatal_signal_render();  // lock-free stderr render (signal path)
+
+  mutable sync::Mutex mutex_{"introspect.flight"};
+  std::array<Record, kCapacity> ring_ OHPX_GUARDED_BY(mutex_){};
+  std::size_t size_ OHPX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t seq_ OHPX_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+/// Renders one record as a single text line (shared by dump() and the
+/// exporter; exposed for tests).
+std::string format_record(const FlightRecorder::Record& record);
+
+}  // namespace ohpx::introspect

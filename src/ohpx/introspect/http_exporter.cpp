@@ -1,0 +1,39 @@
+#include "ohpx/introspect/http_exporter.hpp"
+
+#include <string>
+
+#include "ohpx/introspect/exposition.hpp"
+#include "ohpx/introspect/flight_recorder.hpp"
+#include "ohpx/metrics/metrics.hpp"
+
+namespace ohpx::introspect {
+namespace {
+
+transport::HttpResponse route(const std::string& path) {
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            render_exposition()};
+  }
+  if (path == "/flightrecorder") {
+    return {200, "text/plain; charset=utf-8",
+            FlightRecorder::global().dump()};
+  }
+  if (path == "/healthz") {
+    return {200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  return {404, "text/plain; charset=utf-8",
+          "unknown path; try /metrics, /flightrecorder or /healthz\n"};
+}
+
+}  // namespace
+
+IntrospectHttpServer::IntrospectHttpServer(std::uint16_t port)
+    : listener_(port, route) {
+  // Serving the exposition arms deep timing (metrics.hpp) so the
+  // per-context dispatch series carry samples from the first scrape on.
+  metrics::enable_deep_timing();
+}
+
+IntrospectHttpServer::~IntrospectHttpServer() = default;
+
+}  // namespace ohpx::introspect

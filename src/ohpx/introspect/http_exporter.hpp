@@ -1,0 +1,34 @@
+// HTTP bearer of the introspection plane.
+//
+// Binds a loopback HTTP listener and serves:
+//   GET /metrics         Prometheus text exposition (render_exposition())
+//   GET /flightrecorder  flight-recorder dump (most recent last)
+//   GET /healthz         "ok" liveness probe
+//
+// One instance per process is typical; port 0 picks an ephemeral port
+// (read it back with port()).  The listener stops in the destructor, so
+// scoping an IntrospectHttpServer to a benchmark run is enough.
+#pragma once
+
+#include <cstdint>
+
+#include "ohpx/transport/http.hpp"
+
+namespace ohpx::introspect {
+
+class IntrospectHttpServer {
+ public:
+  explicit IntrospectHttpServer(std::uint16_t port);
+  ~IntrospectHttpServer();
+
+  IntrospectHttpServer(const IntrospectHttpServer&) = delete;
+  IntrospectHttpServer& operator=(const IntrospectHttpServer&) = delete;
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  void stop() { listener_.stop(); }
+
+ private:
+  transport::HttpListener listener_;
+};
+
+}  // namespace ohpx::introspect

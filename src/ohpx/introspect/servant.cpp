@@ -1,0 +1,29 @@
+#include "ohpx/introspect/servant.hpp"
+
+#include "ohpx/introspect/exposition.hpp"
+#include "ohpx/introspect/flight_recorder.hpp"
+#include "ohpx/metrics/metrics.hpp"
+
+namespace ohpx::introspect {
+
+IntrospectServant::IntrospectServant() { metrics::enable_deep_timing(); }
+
+void IntrospectServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
+                                 wire::Encoder& out) {
+  (void)in;  // every method is nullary
+  switch (method_id) {
+    case kMetricsText:
+      orb::marshal_result(out, render_exposition());
+      return;
+    case kFlightRecorder:
+      orb::marshal_result(out, FlightRecorder::global().dump());
+      return;
+    case kHealth:
+      orb::marshal_result(out, std::string("ok"));
+      return;
+    default:
+      orb::unknown_method(kTypeName, method_id);
+  }
+}
+
+}  // namespace ohpx::introspect

@@ -1,0 +1,59 @@
+// Management object: the introspection plane as an ohpx service.
+//
+// The same payload the HTTP exporter serves is reachable over ohpx RMI —
+// export an IntrospectServant from any context and a remote peer can pull
+// the process's metrics, flight-recorder dump, or a health probe through
+// whatever protocol (relay, glue, in-process) its global pointer resolves
+// to.  That keeps the observability story inside the paper's capability
+// model: handing out the Introspect GP *is* granting scrape access.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ohpx/orb/global_pointer.hpp"
+#include "ohpx/orb/servant.hpp"
+#include "ohpx/orb/stub.hpp"
+
+namespace ohpx::introspect {
+
+class IntrospectServant final : public orb::Servant {
+ public:
+  static constexpr std::string_view kTypeName = "Introspect";
+
+  /// Exporting the servant arms deep timing (metrics.hpp), so the
+  /// per-context dispatch series carry samples by the time a peer
+  /// scrapes them.
+  IntrospectServant();
+
+  enum Method : std::uint32_t {
+    kMetricsText = 1,     // () -> string (Prometheus text exposition)
+    kFlightRecorder = 2,  // () -> string (flight-recorder dump)
+    kHealth = 3,          // () -> string ("ok")
+  };
+
+  std::string_view type_name() const noexcept override { return kTypeName; }
+  void dispatch(std::uint32_t method_id, wire::Decoder& in,
+                wire::Encoder& out) override;
+};
+
+class IntrospectStub : public orb::ObjectStub {
+ public:
+  static constexpr std::string_view kTypeName = IntrospectServant::kTypeName;
+  using ObjectStub::ObjectStub;
+
+  std::string metrics_text() {
+    return call<std::string>(IntrospectServant::kMetricsText);
+  }
+
+  std::string flight_recorder() {
+    return call<std::string>(IntrospectServant::kFlightRecorder);
+  }
+
+  std::string health() { return call<std::string>(IntrospectServant::kHealth); }
+};
+
+using IntrospectPointer = orb::GlobalPointer<IntrospectStub>;
+
+}  // namespace ohpx::introspect

@@ -72,6 +72,17 @@ struct MetricsSnapshot {
   std::map<std::string, LatencyQuantiles> latency_quantiles;
 };
 
+/// Deep-timing arming for instrumentation the hot path cannot absorb by
+/// default (the server dispatch timers behind the per-context latency
+/// series the exporter and ohpx-top render: two clock reads per
+/// dispatch).  Mirrors the tracing cost contract in
+/// docs/observability.md — disarmed, each gated site is one relaxed
+/// load and a branch.  Arming is sticky and process-wide; the
+/// introspection plane arms it when an exporter is constructed or an
+/// exposition is rendered.
+bool deep_timing_enabled() noexcept;
+void enable_deep_timing() noexcept;
+
 class MetricsRegistry {
  public:
   /// Stable counter cell: bump with fetch_add, read with load.

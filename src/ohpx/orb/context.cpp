@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "ohpx/common/log.hpp"
+#include "ohpx/metrics/metric_names.hpp"
 #include "ohpx/metrics/metrics.hpp"
 #include "ohpx/protocol/glue_wire.hpp"
 #include "ohpx/resilience/deadline.hpp"
@@ -16,6 +17,39 @@ namespace {
 std::atomic<ContextId> g_next_context_id{1};
 std::atomic<ObjectId> g_next_object_id{1};
 std::atomic<std::uint32_t> g_next_glue_id{1};
+
+// Bumps the per-context request counter and samples dispatch wall time
+// into the aggregate and per-context histograms with one clock-read
+// pair — and only when the introspection plane armed deep timing
+// (metrics::enable_deep_timing): the disarmed constructor is a relaxed
+// load and a branch, so the invocation fast path keeps its measured
+// cost with no exporter in the process.
+class DispatchTimer {
+ public:
+  DispatchTimer(metrics::MetricsRegistry::Counter* ctx_requests,
+                metrics::LatencyHistogram* aggregate,
+                metrics::LatencyHistogram* per_context) noexcept {
+    if (metrics::deep_timing_enabled()) {
+      ctx_requests->fetch_add(1, std::memory_order_relaxed);
+      aggregate_ = aggregate;
+      per_context_ = per_context;
+      watch_.emplace();
+    }
+  }
+  DispatchTimer(const DispatchTimer&) = delete;
+  DispatchTimer& operator=(const DispatchTimer&) = delete;
+  ~DispatchTimer() {
+    if (!watch_.has_value()) return;
+    const Nanoseconds elapsed = watch_->elapsed();
+    aggregate_->record(elapsed);
+    per_context_->record(elapsed);
+  }
+
+ private:
+  metrics::LatencyHistogram* aggregate_ = nullptr;
+  metrics::LatencyHistogram* per_context_ = nullptr;
+  std::optional<Stopwatch> watch_;
+};
 
 }  // namespace
 
@@ -32,7 +66,13 @@ Context::Context(ContextId id, netsim::MachineId machine,
       endpoint_("ctx/" + std::to_string(id)),
       pool_(proto::ProtoPool::standard()),
       requests_counter_(metrics::MetricsRegistry::global().counter_handle(
-          "server.requests")) {
+          metrics::names::kServerRequests)),
+      ctx_requests_counter_(metrics::MetricsRegistry::global().counter_handle(
+          metrics::names::context_requests(id))),
+      dispatch_latency_(metrics::MetricsRegistry::global().latency_handle(
+          metrics::names::kServerDispatchLatency)),
+      ctx_dispatch_latency_(metrics::MetricsRegistry::global().latency_handle(
+          metrics::names::context_latency(id))) {
   transport::EndpointRegistry::instance().bind(
       endpoint_,
       [this](const wire::Buffer& frame) { return handle_frame(frame); });
@@ -181,11 +221,20 @@ std::uint64_t Context::next_request_id() noexcept {
 
 wire::Buffer Context::handle_frame(const wire::Buffer& frame) noexcept {
   requests_counter_->fetch_add(1, std::memory_order_relaxed);
+  // The per-context series (requests counter + dispatch latency, the
+  // exporter's per-context families) are deep instrumentation, armed
+  // only by the introspection plane: disarmed dispatch pays one relaxed
+  // load and a branch on top of the pre-existing aggregate counter, the
+  // same cost contract tracing keeps (docs/observability.md).  Latency
+  // covers decode + route + servant, error paths included — two
+  // histograms from a single clock-read pair.
+  DispatchTimer dispatch_timer(ctx_requests_counter_, dispatch_latency_,
+                               ctx_dispatch_latency_);
   try {
     return handle_frame_or_throw(frame);
   } catch (const Error& e) {
     metrics::MetricsRegistry::global()
-        .counter_handle("server.errors." + std::string(to_string(e.code())))
+        .counter_handle(metrics::names::server_error(to_string(e.code())))
         ->fetch_add(1, std::memory_order_relaxed);
     wire::MessageHeader header;
     BytesView body;
@@ -197,7 +246,8 @@ wire::Buffer Context::handle_frame(const wire::Buffer& frame) noexcept {
     return error_frame(header, e.code(), e.what());
   } catch (const std::exception& e) {
     metrics::MetricsRegistry::global()
-        .counter_handle("server.errors.remote_application_error")
+        .counter_handle(metrics::names::server_error(
+            to_string(ErrorCode::remote_application_error)))
         ->fetch_add(1, std::memory_order_relaxed);
     wire::MessageHeader header;
     BytesView body;

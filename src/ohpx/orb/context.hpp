@@ -179,8 +179,15 @@ class Context {
   trace::SamplingOverride trace_sampling_;
   resilience::RetryOverride retry_policy_;
 
-  // Interned hot-path metric (resolved once; see MetricsRegistry handles).
+  // Interned hot-path metrics (resolved once; see MetricsRegistry handles):
+  // the process-wide request counter plus this context's own series —
+  // "server.ctx.requests.<id>" / "server.ctx.latency.<id>" — which the
+  // exporter renders as per-context families and ohpx-top keys its live
+  // table on.
   metrics::MetricsRegistry::Counter* requests_counter_;
+  metrics::MetricsRegistry::Counter* ctx_requests_counter_;
+  metrics::LatencyHistogram* dispatch_latency_;
+  metrics::LatencyHistogram* ctx_dispatch_latency_;
 };
 
 }  // namespace ohpx::orb

@@ -5,6 +5,8 @@
 
 #include "ohpx/common/log.hpp"
 #include "ohpx/common/thread_pool.hpp"
+#include "ohpx/introspect/flight_recorder.hpp"
+#include "ohpx/metrics/metric_names.hpp"
 #include "ohpx/protocol/registry.hpp"
 #include "ohpx/protocol/select.hpp"
 #include "ohpx/sync/mutex.hpp"
@@ -31,15 +33,21 @@ CallCore::CallCore(Context& context, ObjectRef ref)
     }
   }
   auto& registry = metrics::MetricsRegistry::global();
-  calls_total_ = registry.counter_handle("rmi.calls");
-  cache_hits_ = registry.counter_handle("rmi.select.cache_hit");
-  cache_misses_ = registry.counter_handle("rmi.select.cache_miss");
-  retries_ = registry.counter_handle("rmi.retries");
-  backpressure_ = registry.counter_handle("rmi.backpressure");
-  deadline_exceeded_ = registry.counter_handle("rmi.deadline_exceeded");
-  breaker_opened_ = registry.counter_handle("rmi.breaker.opened");
-  breaker_closed_ = registry.counter_handle("rmi.breaker.closed");
-  latency_ = registry.latency_handle("rmi.latency");
+  calls_total_ = registry.counter_handle(metrics::names::kRmiCalls);
+  cache_hits_ = registry.counter_handle(metrics::names::kRmiSelectCacheHit);
+  cache_misses_ = registry.counter_handle(metrics::names::kRmiSelectCacheMiss);
+  cache_invalidate_ =
+      registry.counter_handle(metrics::names::kRmiSelectCacheInvalidate);
+  retries_ = registry.counter_handle(metrics::names::kRmiRetries);
+  backpressure_ = registry.counter_handle(metrics::names::kRmiBackpressure);
+  deadline_exceeded_ =
+      registry.counter_handle(metrics::names::kRmiDeadlineExceeded);
+  breaker_opened_ = registry.counter_handle(metrics::names::kRmiBreakerOpened);
+  breaker_closed_ = registry.counter_handle(metrics::names::kRmiBreakerClosed);
+  async_deadline_cancelled_ =
+      registry.counter_handle(metrics::names::kRmiAsyncDeadlineCancelled);
+  latency_ = registry.latency_handle(metrics::names::kRmiLatency);
+  async_latency_ = registry.latency_handle(metrics::names::kRmiAsyncLatency);
 }
 
 proto::CallTarget CallCore::resolve_target() const {
@@ -60,14 +68,34 @@ std::string CallCore::probe_protocol() const {
 }
 
 void CallCore::set_breaker_config(const resilience::BreakerConfig& config) {
-  sync::LockGuard lock(mutex_);
-  if (config.enabled()) {
-    breakers_ =
-        std::make_shared<resilience::BreakerSet>(protocols_.size(), config);
-    breakers_enabled_.store(true, std::memory_order_release);
+  // Every live breaker set is visible to the introspection plane: the
+  // registry entry carries one protocol name per breaker entry, so the
+  // exporter can render `ohpx_breaker_state{set, entry, protocol}` without
+  // reaching back into this CallCore.
+  const std::string label = "obj/" + std::to_string(ref_.object_id());
+  std::shared_ptr<resilience::BreakerSet> registered;
+  {
+    sync::LockGuard lock(mutex_);
+    if (config.enabled()) {
+      breakers_ =
+          std::make_shared<resilience::BreakerSet>(protocols_.size(), config);
+      breakers_enabled_.store(true, std::memory_order_release);
+      registered = breakers_;
+    } else {
+      breakers_enabled_.store(false, std::memory_order_release);
+      breakers_.reset();
+    }
+  }
+  if (registered) {
+    std::vector<std::string> entries;
+    entries.reserve(protocols_.size());
+    for (const auto& protocol : protocols_) {
+      entries.emplace_back(protocol->name());
+    }
+    resilience::BreakerRegistry::global().add(registered, label,
+                                              std::move(entries));
   } else {
-    breakers_enabled_.store(false, std::memory_order_release);
-    breakers_.reset();
+    resilience::BreakerRegistry::global().remove(label);
   }
 }
 
@@ -165,6 +193,7 @@ CallCore::Selection CallCore::select_for_call(
           if (cache_ == entry) cache_ = std::move(refreshed);
         } else {
           entry = nullptr;  // our object moved: stale, re-select below
+          cache_invalidate_->fetch_add(1, std::memory_order_relaxed);
           trace::event("cache.invalidate", "epoch-changed");
         }
       }
@@ -221,7 +250,7 @@ CallCore::Selection CallCore::select_for_call(
   }
   std::string described = sel.protocol->describe();
   sel.proto_counter = metrics::MetricsRegistry::global().counter_handle(
-      "rmi.calls." + std::string(sel.protocol->name()));
+      metrics::names::protocol_calls(sel.protocol->name()));
   sync::LockGuard lock(mutex_);
   last_protocol_ = described;
   if (use_cache) {
@@ -293,6 +322,9 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       // included — an expired budget ends the loop no matter how many
       // attempts the retry policy would still allow.
       deadline_exceeded_->fetch_add(1, std::memory_order_relaxed);
+      introspect::FlightRecorder::global().record(
+          introspect::EventKind::deadline, ErrorCode::deadline_exceeded,
+          "budget spent after " + std::to_string(attempt) + " attempt(s)");
       throw DeadlineExceeded("call deadline exceeded after " +
                              std::to_string(attempt) + " attempt(s)");
     }
@@ -350,7 +382,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     } else {
       // Baseline arm: resolve the counter by name on every call, exactly
       // like the pre-fast-path pipeline.
-      registry.counter_handle("rmi.calls")
+      registry.counter_handle(metrics::names::kRmiCalls)
           ->fetch_add(1, std::memory_order_relaxed);
     }
     proto_counter->fetch_add(1, std::memory_order_relaxed);
@@ -383,10 +415,14 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       // toward open (it would turn transient overload into failover).
       if (e.code() == ErrorCode::backpressure) {
         backpressure_->fetch_add(1, std::memory_order_relaxed);
+        introspect::FlightRecorder::global().record(
+            introspect::EventKind::backpressure, e.code(), protocol->name());
       } else if (breakers) {
         const auto transition = breakers->at(entry_index).on_failure();
         if (transition == resilience::CircuitBreaker::Transition::opened) {
           breaker_opened_->fetch_add(1, std::memory_order_relaxed);
+          introspect::FlightRecorder::global().record(
+              introspect::EventKind::breaker_open, e.code(), protocol->name());
           trace::event("breaker.open", protocol->name());
         }
       }
@@ -401,6 +437,9 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       // denials above all — propagate unchanged, cached or not.
       if (may_retry && resilience::is_retryable(e.code())) {
         retries_->fetch_add(1, std::memory_order_relaxed);
+        introspect::FlightRecorder::global().record(
+            introspect::EventKind::retry, e.code(),
+            "transport fault, re-selecting");
         trace::event("retry.transport", "cached endpoint gone, re-selecting");
         wait_backoff(backoff, cost);
         if (!protocol->preserves_payload()) args = std::move(retry_stash);
@@ -419,6 +458,8 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       // decisions and fall through to the throw.
       if (may_retry && resilience::is_retryable(e.code())) {
         retries_->fetch_add(1, std::memory_order_relaxed);
+        introspect::FlightRecorder::global().record(
+            introspect::EventKind::retry, e.code(), "damaged exchange, re-sending");
         trace::event("retry.error", to_string(e.code()));
         wait_backoff(backoff, cost);
         if (!protocol->preserves_payload()) args = std::move(retry_stash);
@@ -433,6 +474,9 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       const auto transition = breakers->at(entry_index).on_success();
       if (transition == resilience::CircuitBreaker::Transition::closed) {
         breaker_closed_->fetch_add(1, std::memory_order_relaxed);
+        introspect::FlightRecorder::global().record(
+            introspect::EventKind::breaker_close, ErrorCode::ok,
+            protocol->name());
         trace::event("breaker.close", protocol->name());
       }
     }
@@ -441,7 +485,8 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       if (use_cache) {
         latency_->record(cost.total());
       } else {
-        registry.latency_handle("rmi.latency")->record(cost.total());
+        registry.latency_handle(metrics::names::kRmiLatency)
+            ->record(cost.total());
       }
       return std::move(reply.payload);
     }
@@ -450,8 +495,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
     std::string message;
     wire::decode_error_body(reply.payload.view(), code_raw, message);
     const ErrorCode code = static_cast<ErrorCode>(code_raw);
-    registry
-        .counter_handle("rmi.errors." + std::string(to_string(code)))
+    registry.counter_handle(metrics::names::rmi_error(to_string(code)))
         ->fetch_add(1, std::memory_order_relaxed);
     if (may_retry && resilience::is_retryable(code)) {
       {
@@ -463,6 +507,8 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
         cache_.reset();
       }
       retries_->fetch_add(1, std::memory_order_relaxed);
+      introspect::FlightRecorder::global().record(introspect::EventKind::retry,
+                                                  code, "retryable error reply");
       if (code == ErrorCode::stale_reference) {
         trace::event("retry.stale_ref", "object migrated, re-resolving");
         log_debug("orb", "stale reference for object ", ref_.object_id(),
@@ -477,6 +523,8 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
       if (!protocol->preserves_payload()) args = std::move(retry_stash);
       continue;
     }
+    introspect::FlightRecorder::global().record(introspect::EventKind::error,
+                                                code, message);
     throw_error(code, message);
   }
 }
@@ -493,6 +541,12 @@ Future<wire::Buffer> CallCore::invoke_async_raw(std::uint32_t method_id,
 
 Future<proto::ReplyMessage> CallCore::invoke_async_reply(
     std::uint32_t method_id, wire::Buffer args, AsyncReplyTicket& ticket) {
+  // Completion latency is measured submit-to-settlement: start the
+  // ticket's stopwatch before any pipeline work so the recorded value
+  // covers selection, submit and the reactor round-trip.
+  ticket.watch = Stopwatch();
+  ticket.latency = async_latency_;
+  ticket.async_deadline_counter = async_deadline_cancelled_;
   // Mint the deadline exactly like the sync path: the reactor captures
   // the ambient value at submit and cancels the future when it passes.
   std::optional<resilience::DeadlineScope> deadline_scope;
@@ -627,6 +681,12 @@ wire::Buffer CallCore::finish_async_reply(Future<proto::ReplyMessage> settled,
     if (ticket.deadline_counter) {
       ticket.deadline_counter->fetch_add(1, std::memory_order_relaxed);
     }
+    if (ticket.async_deadline_counter) {
+      ticket.async_deadline_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    introspect::FlightRecorder::global().record(
+        introspect::EventKind::deadline, ErrorCode::deadline_exceeded,
+        "async future cancelled past deadline");
     throw;
   } catch (const TransportError& e) {
     if (ticket.breakers && e.code() != ErrorCode::backpressure) {
@@ -636,7 +696,10 @@ wire::Buffer CallCore::finish_async_reply(Future<proto::ReplyMessage> settled,
   }
   // The fallback pipeline already fed breakers and re-raised error
   // replies; the async bearer hands those duties to this continuation.
-  if (ticket.pipeline_complete) return std::move(reply.payload);
+  if (ticket.pipeline_complete) {
+    if (ticket.latency) ticket.latency->record(ticket.watch.elapsed());
+    return std::move(reply.payload);
+  }
   // Any reply proves the channel works (even an error reply).
   if (ticket.breakers) ticket.breakers->at(ticket.entry_index).on_success();
   if (reply.header.type == wire::MessageType::request) {
@@ -648,6 +711,7 @@ wire::Buffer CallCore::finish_async_reply(Future<proto::ReplyMessage> settled,
                         "reply for a different request id");
   }
   if (reply.header.type == wire::MessageType::reply) {
+    if (ticket.latency) ticket.latency->record(ticket.watch.elapsed());
     return std::move(reply.payload);
   }
   std::uint32_t code_raw = 0;

@@ -83,6 +83,14 @@ class CallCore {
     std::shared_ptr<resilience::BreakerSet> breakers;
     std::size_t entry_index = 0;
     metrics::MetricsRegistry::Counter* deadline_counter = nullptr;
+    /// Async-settlement instrumentation: completion latency (submit to
+    /// settlement) and the deadline-cancellation count, recorded in
+    /// finish_async_reply — the continuation path's equivalents of the
+    /// sync pipeline's kRmiLatency / kRmiDeadlineExceeded bookkeeping.
+    metrics::LatencyHistogram* latency = nullptr;
+    metrics::MetricsRegistry::Counter* async_deadline_counter = nullptr;
+    /// Started at submit (invoke_async_reply resets it on entry).
+    Stopwatch watch;
     /// Request id the reply must echo — the correlation sanity the sync
     /// pipeline gets from parse_reply_frame, applied at settlement.
     std::uint64_t expect_request_id = 0;
@@ -251,12 +259,15 @@ class CallCore {
   metrics::MetricsRegistry::Counter* calls_total_;
   metrics::MetricsRegistry::Counter* cache_hits_;
   metrics::MetricsRegistry::Counter* cache_misses_;
+  metrics::MetricsRegistry::Counter* cache_invalidate_;
   metrics::MetricsRegistry::Counter* retries_;
   metrics::MetricsRegistry::Counter* backpressure_;
   metrics::MetricsRegistry::Counter* deadline_exceeded_;
   metrics::MetricsRegistry::Counter* breaker_opened_;
   metrics::MetricsRegistry::Counter* breaker_closed_;
+  metrics::MetricsRegistry::Counter* async_deadline_cancelled_;
   metrics::LatencyHistogram* latency_;
+  metrics::LatencyHistogram* async_latency_;
 
   mutable sync::Mutex mutex_{"orb.call_core"};
   std::shared_ptr<const CachedSelection> cache_ OHPX_GUARDED_BY(mutex_);

@@ -90,4 +90,48 @@ BreakerSet::BreakerSet(std::size_t entries, const BreakerConfig& config) {
   }
 }
 
+BreakerRegistry& BreakerRegistry::global() {
+  static BreakerRegistry registry;
+  return registry;
+}
+
+void BreakerRegistry::add(const std::shared_ptr<BreakerSet>& set,
+                          std::string label,
+                          std::vector<std::string> entries) {
+  sync::LockGuard lock(mutex_);
+  for (Registration& registration : registrations_) {
+    if (registration.label == label) {
+      registration.set = set;
+      registration.entries = std::move(entries);
+      return;
+    }
+  }
+  registrations_.push_back({set, std::move(label), std::move(entries)});
+}
+
+void BreakerRegistry::remove(const std::string& label) {
+  sync::LockGuard lock(mutex_);
+  for (auto it = registrations_.begin(); it != registrations_.end(); ++it) {
+    if (it->label == label) {
+      registrations_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<BreakerSetInfo> BreakerRegistry::snapshot() {
+  sync::LockGuard lock(mutex_);
+  std::vector<BreakerSetInfo> out;
+  out.reserve(registrations_.size());
+  for (auto it = registrations_.begin(); it != registrations_.end();) {
+    if (std::shared_ptr<BreakerSet> live = it->set.lock()) {
+      out.push_back({it->label, it->entries, std::move(live)});
+      ++it;
+    } else {
+      it = registrations_.erase(it);  // owner died: prune in passing
+    }
+  }
+  return out;
+}
+
 }  // namespace ohpx::resilience

@@ -19,9 +19,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ohpx/common/annotations.hpp"
 #include "ohpx/resilience/clock.hpp"
+#include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::resilience {
 
@@ -95,6 +98,45 @@ class BreakerSet {
 
  private:
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+/// One registered breaker set, resolved live at snapshot time.
+struct BreakerSetInfo {
+  std::string label;                  // owner identity, e.g. "obj/7"
+  std::vector<std::string> entries;   // protocol name per breaker entry
+  std::shared_ptr<BreakerSet> set;    // pinned for the snapshot's lifetime
+};
+
+/// Process-wide directory of live breaker sets, so the introspection plane
+/// can dump every breaker's state without the owners knowing about it.
+/// Registration is weak: a CallCore that drops its set (or dies) simply
+/// vanishes from the next snapshot — no unregister call to forget.
+class BreakerRegistry {
+ public:
+  static BreakerRegistry& global();
+
+  /// Registers a set under `label` with one name per breaker entry
+  /// (parallel to BreakerSet indices).  Re-registering the same label
+  /// replaces the previous registration (a reconfigured CallCore swaps
+  /// its set in place).
+  void add(const std::shared_ptr<BreakerSet>& set, std::string label,
+           std::vector<std::string> entries);
+
+  /// Removes the registration under `label` (breakers disabled).
+  void remove(const std::string& label);
+
+  /// Live sets only, registration order; expired entries are pruned.
+  std::vector<BreakerSetInfo> snapshot();
+
+ private:
+  struct Registration {
+    std::weak_ptr<BreakerSet> set;
+    std::string label;
+    std::vector<std::string> entries;
+  };
+
+  mutable sync::Mutex mutex_{"resilience.breaker_registry"};
+  std::vector<Registration> registrations_ OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::resilience

@@ -15,6 +15,8 @@
 
 #include "ohpx/common/error.hpp"
 #include "ohpx/common/log.hpp"
+#include "ohpx/introspect/flight_recorder.hpp"
+#include "ohpx/metrics/metric_names.hpp"
 #include "ohpx/resilience/clock.hpp"
 #include "ohpx/resilience/deadline.hpp"
 #include "ohpx/trace/trace.hpp"
@@ -43,17 +45,29 @@ std::exception_ptr make_transport_error(ErrorCode code,
 // ---- lifecycle -------------------------------------------------------------
 
 Reactor::Reactor(ReactorConfig config)
-    : config_(config), window_(config.inflight_window) {
+    : config_(config),
+      window_(config.inflight_window),
+      stall_threshold_(config.stall_threshold_ns) {
   if (config_.shards == 0) config_.shards = 1;
   if (config_.max_batch_frames == 0) config_.max_batch_frames = 1;
 
   // Resolve handles before any loop thread exists: MetricsRegistry::global()
-  // is thereby constructed before this Reactor and outlives it.
+  // is thereby constructed before this Reactor and outlives it.  The same
+  // ordering argument pins the flight recorder the stall watchdog feeds.
+  (void)introspect::FlightRecorder::global();
   auto& registry = metrics::MetricsRegistry::global();
-  batches_ = registry.counter_handle("reactor.batches");
-  frames_ = registry.counter_handle("reactor.frames");
-  backpressure_ = registry.counter_handle("reactor.backpressure");
-  deadline_cancels_ = registry.counter_handle("reactor.deadline_cancelled");
+  batches_ = registry.counter_handle(metrics::names::kReactorBatches);
+  frames_ = registry.counter_handle(metrics::names::kReactorFrames);
+  backpressure_ = registry.counter_handle(metrics::names::kReactorBackpressure);
+  deadline_cancels_ =
+      registry.counter_handle(metrics::names::kReactorDeadlineCancelled);
+  reconnects_ = registry.counter_handle(metrics::names::kReactorReconnects);
+  stalls_ = registry.counter_handle(metrics::names::kRmiReactorStall);
+  inflight_gauge_ = registry.counter_handle(metrics::names::kReactorInflight);
+  connections_gauge_ =
+      registry.counter_handle(metrics::names::kReactorConnections);
+  loop_lag_ = registry.latency_handle(metrics::names::kReactorLoopLag);
+  batch_frames_ = registry.latency_handle(metrics::names::kReactorBatchFrames);
 
   shards_.reserve(config_.shards);
   for (unsigned i = 0; i < config_.shards; ++i) {
@@ -200,6 +214,14 @@ std::size_t Reactor::inflight_window() const noexcept {
   return window_.load(std::memory_order_relaxed);
 }
 
+void Reactor::set_stall_threshold(Nanoseconds threshold) noexcept {
+  stall_threshold_.store(threshold.count(), std::memory_order_relaxed);
+}
+
+Nanoseconds Reactor::stall_threshold() const noexcept {
+  return Nanoseconds(stall_threshold_.load(std::memory_order_relaxed));
+}
+
 std::size_t Reactor::pending_calls() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
@@ -209,6 +231,24 @@ std::size_t Reactor::pending_calls() const {
     }
   }
   return total;
+}
+
+std::vector<Reactor::ConnectionStats> Reactor::connection_stats() const {
+  std::vector<ConnectionStats> out;
+  for (const auto& shard : shards_) {
+    sync::LockGuard lock(shard->mutex);
+    for (const auto& [key, conn] : shard->conns) {
+      ConnectionStats stats;
+      stats.host = conn->host;
+      stats.port = conn->port;
+      stats.inflight = conn->inflight.size();
+      stats.queued = conn->outq.size();
+      stats.connected = conn->fd >= 0 && !conn->connecting;
+      stats.reconnects = conn->reconnects;
+      out.push_back(std::move(stats));
+    }
+  }
+  return out;
 }
 
 void Reactor::poke() noexcept {
@@ -246,6 +286,7 @@ void Reactor::loop(Shard& shard) {
       }
     }
     if (exiting) {
+      publish_gauges(shard, 0, 0);
       for (auto& s : settled) s.settle();
       settled.clear();
       return;
@@ -266,6 +307,13 @@ void Reactor::loop(Shard& shard) {
       log_warn("reactor", "epoll_wait failed: ", std::strerror(errno));
       return;
     }
+
+    // Loop-lag sample: everything from here to the end of settlement is
+    // time this tick kept the loop busy — time parked in epoll_wait never
+    // counts.  note_tick_lag() feeds the histogram and the stall watchdog.
+    Stopwatch tick_watch;
+    std::size_t inflight_now = 0;
+    std::size_t connections_now = 0;
 
     {
       sync::LockGuard lock(shard.mutex);
@@ -303,12 +351,57 @@ void Reactor::loop(Shard& shard) {
             it->second->outq.empty()) {
           it = shard.conns.erase(it);
         } else {
+          inflight_now += it->second->inflight.size();
+          ++connections_now;
           ++it;
         }
       }
     }
+    publish_gauges(shard, inflight_now, connections_now);
     for (auto& s : settled) s.settle();
     settled.clear();
+    note_tick_lag(tick_watch.elapsed());
+  }
+}
+
+void Reactor::publish_gauges(Shard& shard, std::size_t inflight,
+                             std::size_t connections) noexcept {
+  // Each shard refreshes its own contribution, then stores the cross-shard
+  // sum — the last writer wins with a value at most one tick stale, which
+  // is exactly what a gauge promises.
+  shard.gauge_inflight.store(inflight, std::memory_order_relaxed);
+  shard.gauge_connections.store(connections, std::memory_order_relaxed);
+  std::size_t total_inflight = 0;
+  std::size_t total_connections = 0;
+  for (const auto& other : shards_) {
+    total_inflight += other->gauge_inflight.load(std::memory_order_relaxed);
+    total_connections +=
+        other->gauge_connections.load(std::memory_order_relaxed);
+  }
+  inflight_gauge_->store(total_inflight, std::memory_order_relaxed);
+  connections_gauge_->store(total_connections, std::memory_order_relaxed);
+}
+
+// Stall watchdog: a tick that kept the loop busy past the threshold means
+// every other connection on this shard waited that long for service — the
+// reactor-side equivalent of a blocked event loop.  Cheap path first: the
+// histogram record is three relaxed adds, the threshold probe one load.
+void Reactor::note_tick_lag(Nanoseconds lag) {
+  loop_lag_->record(lag);
+  const std::int64_t threshold =
+      stall_threshold_.load(std::memory_order_relaxed);
+  if (threshold <= 0 || lag.count() < threshold) return;
+  stalls_->fetch_add(1, std::memory_order_relaxed);
+  introspect::FlightRecorder::global().record(
+      introspect::EventKind::stall, ErrorCode::ok,
+      "reactor loop lag " + std::to_string(lag.count() / 1000) + " us");
+  // Dump once per process: the first stall is the interesting one, and a
+  // stalling loop must not amplify itself by rendering the ring per tick.
+  bool expected = false;
+  if (stall_dump_logged_.compare_exchange_strong(expected, true)) {
+    log_warn("reactor", "event-loop stall: tick took ",
+             lag.count() / 1000, " us (threshold ", threshold / 1000,
+             " us)\n", introspect::FlightRecorder::global().dump());
   }
 }
 
@@ -358,7 +451,17 @@ void Reactor::open_connection(Shard& shard, Connection& conn,
     }
     conn.connecting = true;
   }
+  if (!conn.connecting) note_connected(conn);  // loopback connect can
+                                               // complete synchronously
   update_interest(shard, conn, /*want_write=*/conn.connecting);
+}
+
+void Reactor::note_connected(Connection& conn) noexcept {
+  if (conn.ever_connected) {
+    ++conn.reconnects;
+    reconnects_->fetch_add(1, std::memory_order_relaxed);
+  }
+  conn.ever_connected = true;
 }
 
 void Reactor::finish_connect(Shard& shard, Connection& conn,
@@ -374,6 +477,7 @@ void Reactor::finish_connect(Shard& shard, Connection& conn,
     return;
   }
   conn.connecting = false;
+  note_connected(conn);
   update_interest(shard, conn, /*want_write=*/false);
   flush(shard, conn, out);
 }
@@ -439,6 +543,10 @@ void Reactor::flush(Shard& shard, Connection& conn,
       return;
     }
     batches_->fetch_add(1, std::memory_order_relaxed);
+    // Batch-size histogram, encoded 1 us per frame so the log2 buckets
+    // read as frame-count bands (1, 2-3, 4-7, ... frames per sendmsg).
+    batch_frames_->record(
+        Nanoseconds(static_cast<std::int64_t>(batch_frames) * 1000));
     std::size_t sent = static_cast<std::size_t>(n);
     conn.out_offset += sent;
     while (!conn.outq.empty()) {
@@ -555,9 +663,13 @@ void Reactor::read_ready(Shard& shard, Connection& conn,
 void Reactor::fail_connection(Shard& shard, Connection& conn, ErrorCode code,
                               const std::string& message,
                               std::vector<Settlement>& out) {
-  const std::exception_ptr error = make_transport_error(
-      code, "tcp " + conn.host + ":" + std::to_string(conn.port) + ": " +
-                message);
+  const std::string described =
+      "tcp " + conn.host + ":" + std::to_string(conn.port) + ": " + message;
+  const std::exception_ptr error = make_transport_error(code, described);
+  // Cold path by definition (the connection just died): one flight-recorder
+  // entry per failure, not per pending call.
+  introspect::FlightRecorder::global().record(introspect::EventKind::error,
+                                              code, described);
   for (auto& [corr, pending] : conn.inflight) {
     Settlement s;
     s.promise = std::move(pending.promise);
@@ -594,6 +706,7 @@ void Reactor::cancel_expired(Shard& shard, std::vector<Settlement>& out) {
     }
   }
   if (!any) return;
+  std::size_t cancelled = 0;
   const std::int64_t now = resilience::now_ns();
   for (auto& [key, conn] : shard.conns) {
     if (conn->deadline_count == 0) continue;
@@ -606,12 +719,19 @@ void Reactor::cancel_expired(Shard& shard, std::vector<Settlement>& out) {
             DeadlineExceeded("deadline exceeded awaiting reply"));
         out.push_back(std::move(s));
         deadline_cancels_->fetch_add(1, std::memory_order_relaxed);
+        ++cancelled;
         --conn->deadline_count;
         it = conn->inflight.erase(it);
       } else {
         ++it;
       }
     }
+  }
+  if (cancelled > 0) {
+    introspect::FlightRecorder::global().record(
+        introspect::EventKind::deadline, ErrorCode::deadline_exceeded,
+        "reactor cancelled " + std::to_string(cancelled) +
+            " call(s) past deadline");
   }
 }
 

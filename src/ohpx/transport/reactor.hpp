@@ -83,6 +83,14 @@ struct ReactorConfig {
   /// Loop tick granularity while calls with deadlines are pending — the
   /// upper bound on how late a deadline cancellation fires.
   int poll_granularity_ms = 5;
+
+  /// Stall watchdog: a loop tick whose processing time (everything between
+  /// an epoll_wait return and the next sleep decision — time *parked* in
+  /// epoll_wait never counts) reaches this threshold bumps
+  /// rmi.reactor.stall and drops a flight-recorder entry; the first stall
+  /// additionally logs a full recorder dump.  0 disables the watchdog.
+  /// Tunable at runtime via set_stall_threshold().
+  std::int64_t stall_threshold_ns = 500'000'000;
 };
 
 class Reactor {
@@ -113,8 +121,26 @@ class Reactor {
   void set_inflight_window(std::size_t window) noexcept;
   std::size_t inflight_window() const noexcept;
 
+  /// Stall-watchdog threshold tuning (tests shrink it to force a stall;
+  /// 0 disables).  See ReactorConfig::stall_threshold_ns.
+  void set_stall_threshold(Nanoseconds threshold) noexcept;
+  Nanoseconds stall_threshold() const noexcept;
+
   /// Calls queued or awaiting a reply, across all connections.
   std::size_t pending_calls() const;
+
+  /// Point-in-time health of one connection, for the introspection plane.
+  struct ConnectionStats {
+    std::string host;
+    std::uint16_t port = 0;
+    std::size_t inflight = 0;    // queued + awaiting reply
+    std::size_t queued = 0;      // frames not yet fully on the wire
+    bool connected = false;      // socket open, handshake complete
+    std::uint64_t reconnects = 0;
+  };
+
+  /// Every live connection across all shards (order unspecified).
+  std::vector<ConnectionStats> connection_stats() const;
 
   /// Wakes every shard for an immediate tick — after advancing a
   /// ManualClock, this makes deadline cancellation prompt instead of
@@ -159,6 +185,11 @@ class Reactor {
     // syscall covers many replies under fan-in.
     std::vector<std::uint8_t> inbuf;
 
+    // Reconnect bookkeeping: ever_connected marks the first successful
+    // handshake, so later successes count as re-establishments.
+    bool ever_connected = false;
+    std::uint64_t reconnects = 0;
+
     // Correlation id -> pending call; its size *is* the inflight count the
     // window bounds.  Hashed, not ordered: at a 1k-deep window the
     // per-call find/insert/erase triple on a red-black tree was a
@@ -182,6 +213,11 @@ class Reactor {
     std::atomic<bool> asleep{false};
     std::atomic<std::uint64_t> submit_seq{0};
     mutable sync::Mutex mutex{"transport.reactor.shard"};
+    // This shard's contribution to the reactor.inflight / .connections
+    // gauges, refreshed at the end of every tick (the loop sums across
+    // shards and stores the totals into the metrics registry).
+    std::atomic<std::size_t> gauge_inflight{0};
+    std::atomic<std::size_t> gauge_connections{0};
     bool stopping OHPX_GUARDED_BY(mutex) = false;
     std::map<std::pair<std::string, std::uint16_t>,
              std::unique_ptr<Connection>>
@@ -229,9 +265,15 @@ class Reactor {
       OHPX_REQUIRES(shard.mutex);
   void update_interest(Shard& shard, Connection& conn, bool want_write)
       OHPX_REQUIRES(shard.mutex);
+  void note_connected(Connection& conn) noexcept;
+  void publish_gauges(Shard& shard, std::size_t inflight,
+                      std::size_t connections) noexcept;
+  void note_tick_lag(Nanoseconds lag);
 
   ReactorConfig config_;
   std::atomic<std::size_t> window_;
+  std::atomic<std::int64_t> stall_threshold_{0};
+  std::atomic<bool> stall_dump_logged_{false};
   std::atomic<std::uint64_t> next_correlation_{1};
   std::atomic<bool> stopped_{false};
 
@@ -242,6 +284,15 @@ class Reactor {
   metrics::MetricsRegistry::Counter* frames_ = nullptr;
   metrics::MetricsRegistry::Counter* backpressure_ = nullptr;
   metrics::MetricsRegistry::Counter* deadline_cancels_ = nullptr;
+  metrics::MetricsRegistry::Counter* reconnects_ = nullptr;
+  metrics::MetricsRegistry::Counter* stalls_ = nullptr;
+  // Gauges (store(), not fetch_add): refreshed at the end of every tick.
+  metrics::MetricsRegistry::Counter* inflight_gauge_ = nullptr;
+  metrics::MetricsRegistry::Counter* connections_gauge_ = nullptr;
+  // Histograms: per-tick loop lag (real time) and frames per sendmsg
+  // batch (encoded as 1 us per frame — see flush()).
+  metrics::LatencyHistogram* loop_lag_ = nullptr;
+  metrics::LatencyHistogram* batch_frames_ = nullptr;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -1,12 +1,83 @@
 #include "ohpx/wire/buffer_pool.hpp"
 
+#include <memory>
 #include <utility>
 
+#include "ohpx/sync/mutex.hpp"
+
 namespace ohpx::wire {
+namespace {
+
+// Live-pool registry for global_stats(): touched only at thread start
+// and exit, never on the acquire/release hot path.  Retired totals keep
+// the reused/allocated counters monotonic after a thread exits (its
+// parked buffers are freed, so it stops contributing to `pooled`).
+struct PoolRegistry {
+  sync::Mutex mutex{"wire.buffer_pool_registry"};
+  std::vector<const BufferPool*> pools;
+  std::uint64_t retired_reused = 0;
+  std::uint64_t retired_allocated = 0;
+};
+
+PoolRegistry& registry() {
+  // Leaked on purpose (released unique_ptr): thread_local pool
+  // destructors run at thread exit, possibly after function-static
+  // destruction during process teardown.
+  static PoolRegistry* instance = std::make_unique<PoolRegistry>().release();
+  return *instance;
+}
+
+// Single-writer increment: only the owning thread mutates the counter,
+// so a plain load+store pair (no locked RMW) is race-free and keeps the
+// hot path at the cost of the unshared counters it replaced.
+void bump(std::atomic<std::uint64_t>& counter, std::uint64_t delta) {
+  counter.store(counter.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+}
+
+void drop(std::atomic<std::uint64_t>& counter, std::uint64_t delta) {
+  counter.store(counter.load(std::memory_order_relaxed) - delta,
+                std::memory_order_relaxed);
+}
+
+}  // namespace
+
+BufferPool::BufferPool() {
+  auto& reg = registry();
+  sync::LockGuard lock(reg.mutex);
+  reg.pools.push_back(this);
+}
+
+BufferPool::~BufferPool() {
+  auto& reg = registry();
+  sync::LockGuard lock(reg.mutex);
+  for (auto it = reg.pools.begin(); it != reg.pools.end(); ++it) {
+    if (*it == this) {
+      reg.pools.erase(it);
+      break;
+    }
+  }
+  reg.retired_reused += reused_.load(std::memory_order_relaxed);
+  reg.retired_allocated += allocated_.load(std::memory_order_relaxed);
+}
 
 BufferPool& BufferPool::local() {
   static thread_local BufferPool pool;
   return pool;
+}
+
+BufferPool::GlobalStats BufferPool::global_stats() noexcept {
+  auto& reg = registry();
+  GlobalStats stats;
+  sync::LockGuard lock(reg.mutex);
+  stats.reused = reg.retired_reused;
+  stats.allocated = reg.retired_allocated;
+  for (const BufferPool* pool : reg.pools) {
+    stats.pooled += pool->pooled_count_.load(std::memory_order_relaxed);
+    stats.reused += pool->reused_.load(std::memory_order_relaxed);
+    stats.allocated += pool->allocated_.load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 Buffer BufferPool::acquire(std::size_t reserve_hint) {
@@ -16,9 +87,10 @@ Buffer BufferPool::acquire(std::size_t reserve_hint) {
     free_.pop_back();
     storage.clear();  // keeps capacity
     out.assign(std::move(storage));
-    ++reused_;
+    bump(reused_, 1);
+    drop(pooled_count_, 1);
   } else {
-    ++allocated_;
+    bump(allocated_, 1);
   }
   if (reserve_hint != 0) out.reserve(reserve_hint);
   return out;
@@ -31,6 +103,7 @@ void BufferPool::release(Buffer&& buffer) {
     return;  // drop: empty, oversized, or pool already full
   }
   free_.push_back(std::move(storage));
+  bump(pooled_count_, 1);
 }
 
 }  // namespace ohpx::wire

@@ -13,6 +13,7 @@
 // seeds that thread's pool — correctness never depends on pairing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -23,6 +24,19 @@ namespace ohpx::wire {
 
 class BufferPool {
  public:
+  /// Process-wide pool occupancy for the introspection plane, summed
+  /// over every live thread's pool (plus totals retired by exited
+  /// threads).  The counters are single-writer atomics — only the
+  /// owning thread writes, with plain load+store (no RMW), so the
+  /// acquire/release hot path costs the same as the unshared counters
+  /// it replaced; the exporter's sum is eventually consistent.
+  struct GlobalStats {
+    std::uint64_t pooled = 0;     // buffers currently parked, all threads
+    std::uint64_t reused = 0;     // acquisitions served from a pool
+    std::uint64_t allocated = 0;  // acquisitions that had to allocate
+  };
+  static GlobalStats global_stats() noexcept;
+
   /// Free-list depth per thread; beyond this, released buffers are freed.
   static constexpr std::size_t kMaxPooled = 8;
 
@@ -40,14 +54,33 @@ class BufferPool {
   /// Donates a no-longer-needed buffer back to the pool.
   void release(Buffer&& buffer);
 
-  std::size_t pooled() const noexcept { return free_.size(); }
-  std::uint64_t reused() const noexcept { return reused_; }
-  std::uint64_t allocated() const noexcept { return allocated_; }
+  /// Registers with the process-wide pool list (global_stats' view).
+  BufferPool();
+
+  /// Thread exit frees the parked buffers and folds the totals into the
+  /// retired tally so the _total counters stay monotonic.
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  std::size_t pooled() const noexcept {
+    return free_.size();
+  }
+  std::uint64_t reused() const noexcept {
+    return reused_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t allocated() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<Bytes> free_;
-  std::uint64_t reused_ = 0;
-  std::uint64_t allocated_ = 0;
+  // Single-writer counters: only the owning thread mutates them (with
+  // non-RMW load+store), the global_stats() reader sums them relaxed.
+  std::atomic<std::uint64_t> pooled_count_{0};
+  std::atomic<std::uint64_t> reused_{0};
+  std::atomic<std::uint64_t> allocated_{0};
 };
 
 }  // namespace ohpx::wire

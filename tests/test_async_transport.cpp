@@ -264,5 +264,62 @@ TEST_F(AsyncTransportFixture, OverlappingCallsDemuxToTheRightFutures) {
   }
 }
 
+// ---- the continuation path records completion latency ---------------------
+
+TEST_F(AsyncTransportFixture, AsyncCompletionLatencyRecorded) {
+  auto ref = orb::RefBuilder(*server_ctx_, std::make_shared<EchoServant>())
+                 .tcp()
+                 .build();
+  EchoStub stub(*client_ctx_, ref);
+
+  auto* histogram =
+      metrics::MetricsRegistry::global().latency_handle("rmi.async.latency");
+  const std::uint64_t samples_before = histogram->count();
+
+  constexpr int kCalls = 6;
+  for (int i = 0; i < kCalls; ++i) {
+    auto future = stub.call_async<std::string>(EchoServant::kReverse,
+                                               std::string("abc"));
+    EXPECT_EQ(future.get(), "cba");
+  }
+
+  // Every settled async call recorded exactly one submit-to-settlement
+  // sample; the sync-path histogram is untouched by the async route.
+  EXPECT_EQ(histogram->count(), samples_before + kCalls);
+}
+
+// ---- deadline cancellation is counted on the async path -------------------
+
+TEST_F(AsyncTransportFixture, AsyncDeadlineCancellationCounted) {
+  auto servant = std::make_shared<GatedServant>();
+  GatedStub stub(*client_ctx_, tcp_ref(servant));
+
+  resilience::ScopedManualClock scoped_clock;
+  stub.set_deadline_budget(std::chrono::milliseconds(5));
+
+  auto* histogram =
+      metrics::MetricsRegistry::global().latency_handle("rmi.async.latency");
+  const std::uint64_t samples_before = histogram->count();
+  const std::uint64_t cancelled_before =
+      counter_value("rmi.async.deadline_cancelled");
+  const std::uint64_t deadline_before = counter_value("rmi.deadline_exceeded");
+
+  auto future = stub.call_async<std::uint64_t>(GatedServant::kBlock);
+  scoped_clock.clock().advance(std::chrono::milliseconds(6));
+  transport::Reactor::global().poke();
+  future.wait();
+  EXPECT_THROW(future.get(), DeadlineExceeded);
+
+  // The cancellation bumped both the shared deadline counter and the
+  // async-specific one — and did NOT record a completion latency sample
+  // (the call never completed).
+  EXPECT_EQ(counter_value("rmi.async.deadline_cancelled"),
+            cancelled_before + 1);
+  EXPECT_EQ(counter_value("rmi.deadline_exceeded"), deadline_before + 1);
+  EXPECT_EQ(histogram->count(), samples_before);
+
+  servant->release();
+}
+
 }  // namespace
 }  // namespace ohpx

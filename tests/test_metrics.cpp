@@ -7,12 +7,14 @@
 #include "ohpx/orb/ref_builder.hpp"
 #include "ohpx/runtime/world.hpp"
 #include "ohpx/scenario/echo.hpp"
+#include "ohpx/transport/reactor.hpp"
 
 namespace ohpx::metrics {
 namespace {
 
 using scenario::EchoPointer;
 using scenario::EchoServant;
+using scenario::EchoStub;
 
 TEST(Histogram, EmptyIsZero) {
   LatencyHistogram histogram;
@@ -163,6 +165,81 @@ TEST(OrbInstrumentation, CallsAndProtocolsCounted) {
   EXPECT_EQ(registry.counter("rmi.errors.remote_application_error"), 1u);
   EXPECT_EQ(registry.counter("server.errors.remote_application_error"), 1u);
   registry.reset();
+}
+
+// The reactor's internal counters must surface in the ordinary registry
+// snapshot — the introspection exporter (and ohpx-top) reads nothing else.
+TEST(OrbInstrumentation, ReactorCountersSurfaceInSnapshot) {
+  auto& registry = MetricsRegistry::global();
+
+  runtime::World world;
+  const auto lan = world.add_lan("lan");
+  const auto m0 = world.add_machine("m0", lan);
+  const auto m1 = world.add_machine("m1", lan);
+  orb::Context& client = world.create_context(m0);
+  orb::Context& server = world.create_context(m1);
+  server.enable_tcp();
+
+  auto ref = orb::RefBuilder(server, std::make_shared<EchoServant>())
+                 .tcp()
+                 .build();
+  EchoStub stub(client, ref);
+  const std::uint64_t batches_before = registry.counter("reactor.batches");
+  const std::uint64_t frames_before = registry.counter("reactor.frames");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(stub.call_async<std::uint64_t>(scenario::EchoServant::kPing)
+                  .get(),
+              static_cast<std::uint64_t>(i + 1));
+  }
+
+  const MetricsSnapshot snap = registry.snapshot();
+  // Accumulating counters moved with the traffic.
+  EXPECT_GE(snap.counters.at("reactor.batches"), batches_before + 4);
+  EXPECT_GE(snap.counters.at("reactor.frames"), frames_before + 4);
+  // Histograms: every tick samples loop lag; every gather batch samples
+  // its frame count.
+  EXPECT_GE(snap.latency_counts.at("reactor.loop_lag"), 1u);
+  EXPECT_GE(snap.latency_counts.at("reactor.batch_frames"), 1u);
+  // Gauges and cold-path counters are interned at reactor construction,
+  // so their keys exist (possibly zero) in every snapshot thereafter.
+  EXPECT_EQ(snap.counters.count("reactor.inflight"), 1u);
+  EXPECT_EQ(snap.counters.count("reactor.connections"), 1u);
+  EXPECT_EQ(snap.counters.count("reactor.backpressure"), 1u);
+  EXPECT_EQ(snap.counters.count("reactor.reconnects"), 1u);
+  EXPECT_EQ(snap.counters.count("rmi.reactor.stall"), 1u);
+}
+
+// Per-context dispatch series ride alongside the aggregate server ones.
+// Dispatch timing is armed by the introspection plane (cost contract in
+// metrics.hpp); the test arms it the same way a process with an
+// exporter would be.
+TEST(OrbInstrumentation, PerContextDispatchSeries) {
+  enable_deep_timing();
+  auto& registry = MetricsRegistry::global();
+
+  runtime::World world;
+  const auto lan = world.add_lan("lan");
+  const auto m0 = world.add_machine("m0", lan);
+  const auto m1 = world.add_machine("m1", lan);
+  orb::Context& client = world.create_context(m0);
+  orb::Context& server = world.create_context(m1);
+
+  auto ref = orb::RefBuilder(server, std::make_shared<EchoServant>()).build();
+  EchoPointer gp(client, ref);
+  const std::string requests_key =
+      "server.ctx.requests." + std::to_string(server.id());
+  const std::string latency_key =
+      "server.ctx.latency." + std::to_string(server.id());
+  const std::uint64_t requests_before = registry.counter(requests_key);
+  gp->ping();
+  gp->ping();
+  gp->ping();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at(requests_key), requests_before + 3);
+  EXPECT_GE(snap.latency_counts.at(latency_key), 3u);
+  EXPECT_GE(snap.latency_counts.at("server.dispatch"),
+            snap.latency_counts.at(latency_key));
 }
 
 }  // namespace

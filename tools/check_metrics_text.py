@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition payload from the ohpx exporter.
+
+Checks (all hard failures):
+  - every non-comment line parses as `name[{labels}] value`
+  - every series is preceded by a `# TYPE` declaration for its family
+  - each family is declared (`# TYPE`) exactly once
+  - counter families end in `_total`; summary series are the family name
+    plus optional `_sum`/`_count`
+  - no duplicate (series name, label set) pairs
+  - every family named via --require is present (declared, even if it has
+    zero series — gauge families like ohpx_breaker_state may be empty)
+
+Usage:
+  check_metrics_text.py exposition.txt \
+      --require ohpx_reactor_loop_lag_us --require ohpx_breaker_state
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+FAMILY_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)$")
+LABEL_RE = re.compile(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\s*'
+                      r"(?:,|$)")
+VALUE_RE = re.compile(r"^[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|"
+                      r"\d*\.\d+(?:[eE][+-]?\d+)?|Inf|NaN)$")
+
+
+def parse_labels(text: str, errors: list, lineno: int) -> tuple:
+    inner = text[1:-1].strip()
+    if not inner:
+        return ()
+    labels = []
+    pos = 0
+    while pos < len(inner):
+        match = LABEL_RE.match(inner, pos)
+        if match is None:
+            errors.append(f"line {lineno}: malformed label set {text!r}")
+            return tuple(labels)
+        labels.append((match.group(1), match.group(2)))
+        pos = match.end()
+    return tuple(sorted(labels))
+
+
+def family_of(series_name: str, families: dict) -> str | None:
+    """The declared family a series belongs to, or None."""
+    if series_name in families:
+        return series_name
+    for suffix in ("_sum", "_count"):
+        if series_name.endswith(suffix) and series_name[:-len(suffix)] in \
+                families:
+            return series_name[:-len(suffix)]
+    return None
+
+
+def check(text: str, required: list) -> list:
+    errors: list = []
+    families: dict = {}       # family -> type
+    seen_series: set = set()  # (series name, labelset)
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, family, metric_type = parts
+            if not FAMILY_RE.match(family):
+                errors.append(
+                    f"line {lineno}: bad family name {family!r}")
+                continue
+            if metric_type not in ("counter", "gauge", "summary",
+                                   "histogram", "untyped"):
+                errors.append(
+                    f"line {lineno}: unknown metric type {metric_type!r} "
+                    f"for {family}")
+            if family in families:
+                errors.append(
+                    f"line {lineno}: family {family} declared twice")
+            families[family] = metric_type
+            if metric_type == "counter" and not family.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter family {family} must end in "
+                    "_total")
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+
+        match = SERIES_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable series line: {line!r}")
+            continue
+        name = match.group("name")
+        family = family_of(name, families)
+        if family is None:
+            errors.append(
+                f"line {lineno}: series {name} has no preceding # TYPE "
+                "declaration")
+            continue
+        if name != family and families[family] != "summary":
+            errors.append(
+                f"line {lineno}: series {name} uses _sum/_count but "
+                f"{family} is a {families[family]}, not a summary")
+        labels = parse_labels(match.group("labels") or "{}", errors, lineno)
+        key = (name, labels)
+        if key in seen_series:
+            errors.append(
+                f"line {lineno}: duplicate series {name}{dict(labels)}")
+        seen_series.add(key)
+        if not VALUE_RE.match(match.group("value")):
+            errors.append(
+                f"line {lineno}: unparseable value "
+                f"{match.group('value')!r} for {name}")
+
+    for family in required:
+        if family not in families:
+            errors.append(f"required family {family} is missing")
+
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", type=Path,
+                        help="exposition payload to validate")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this family is declared "
+                             "(repeatable)")
+    options = parser.parse_args()
+
+    text = options.file.read_text(encoding="utf-8", errors="replace")
+    errors = check(text, options.require)
+    if errors:
+        for error in errors:
+            print(f"check-metrics-text: {error}")
+        print(f"check-metrics-text: FAIL ({len(errors)} error(s))")
+        return 1
+    series = sum(1 for line in text.splitlines()
+                 if line.strip() and not line.startswith("#"))
+    print(f"check-metrics-text: OK ({series} series, "
+          f"{len(options.require)} required families present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

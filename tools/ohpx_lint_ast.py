@@ -362,6 +362,15 @@ SPAN_CALL_RE = re.compile(r"\bSpan\s+\w+\s*\(")
 EVENT_CALL_RE = re.compile(r"\b(?:trace\s*::\s*)?event\s*\(")
 NAME_LITERAL_RE = re.compile(r'"([a-z0-9_.]+)"')
 
+# Metric registry call sites (handles, convenience wrappers, and the RAII
+# timer in both its named-variable and temporary spellings).
+METRIC_CALL_RE = re.compile(
+    r"\b(?:counter_handle|latency_handle|increment|record_latency)\s*\(|"
+    r"\bScopedLatency(?:\s+\w+)?\s*\(")
+# Metric names are dotted lowercase ("rmi.calls"); requiring a dot keeps
+# ordinary string arguments from tripping the rule.
+METRIC_LITERAL_RE = re.compile(r'"([a-z0-9_]+(?:\.[a-z0-9_.]+)+)"')
+
 
 def _switch_cases(text: str, function_re: re.Pattern) -> tuple[set, bool,
                                                                int]:
@@ -519,6 +528,34 @@ class ConsistencyChecker:
                         "sync bearer); a raw syscall parks a thread the "
                         "reactor cannot see")
 
+    def check_metric_names(self, findings: Findings) -> None:
+        """Every metric-registry call site in src/ outside src/ohpx/metrics/
+        must reach its name through metric_names.hpp — a raw dotted string
+        literal at counter_handle()/latency_handle()/increment()/
+        record_latency()/ScopedLatency drifts out of the exporter's,
+        ohpx-top's and the tests' shared vocabulary silently."""
+        src = self.root / "src"
+        for source in sorted(src.rglob("*.hpp")) + sorted(src.rglob("*.cpp")):
+            rel = source.resolve().relative_to(self.root.resolve())
+            if rel.parts[:3] == ("src", "ohpx", "metrics"):
+                continue  # the registry + metric_names.hpp own the names
+            raw = source.read_text(encoding="utf-8", errors="replace")
+            # Strip comments but keep strings: the names ARE strings.
+            clean = re.sub(r"//[^\n]*", "", raw)
+            for match in METRIC_CALL_RE.finditer(clean):
+                for arg in self._call_args(clean, match.end()):
+                    literal = METRIC_LITERAL_RE.search(arg)
+                    if literal is None:
+                        continue
+                    lineno = clean.count("\n", 0, match.start()) + 1
+                    findings.report(
+                        source, lineno, "metric-names",
+                        f'raw metric name "{literal.group(1)}" at a registry '
+                        "call site — route it through "
+                        "src/ohpx/metrics/metric_names.hpp (a names:: "
+                        "constant or derived-name builder) so the exporter, "
+                        "ohpx-top and the tests share one vocabulary")
+
     def check_span_names(self, findings: Findings) -> None:
         registered = self._registered_span_names()
         if not registered:
@@ -568,13 +605,14 @@ def run(root: Path, engine_name: str, compile_commands: Path) -> int:
     checker.check_blocking_sockets(findings)
     checker.check_error_codes(findings)
     checker.check_span_names(findings)
+    checker.check_metric_names(findings)
     for violation in findings.sorted():
         print(violation)
     if findings.violations:
         print(f"ohpx-lint-ast[{engine.name}]: "
               f"{len(findings.violations)} violation(s)")
         return 1
-    print(f"ohpx-lint-ast[{engine.name}]: OK (4 rules clean)")
+    print(f"ohpx-lint-ast[{engine.name}]: OK (5 rules clean)")
     return 0
 
 
@@ -762,6 +800,7 @@ def _collect(root: Path, engine) -> list[str]:
     checker.check_blocking_sockets(findings)
     checker.check_error_codes(findings)
     checker.check_span_names(findings)
+    checker.check_metric_names(findings)
     return findings.sorted()
 
 
@@ -878,6 +917,48 @@ def self_test() -> int:
          "void f(Codec& codec, void* buf) { codec.Codec::read(buf, 1); }\n"
          "}  // namespace ohpx::orb\n",
          []),  # member-qualified call must NOT trip the rule
+        ("raw metric name at a registry call site",
+         "src/ohpx/orb/metered.cpp",
+         "namespace ohpx::metrics {\n"
+         "struct MetricsRegistry {\n"
+         "  static MetricsRegistry& global();\n"
+         "  unsigned long* counter_handle(const char*);\n"
+         "};\n"
+         "}  // namespace ohpx::metrics\n"
+         "namespace ohpx::orb {\n"
+         "void f() {\n"
+         '  metrics::MetricsRegistry::global().counter_handle("rmi.calls");\n'
+         "}\n"
+         "}  // namespace ohpx::orb\n",
+         ["[metric-names]"]),
+        ("metric name routed through names:: stays clean",
+         "src/ohpx/orb/metered_ok.cpp",
+         "namespace ohpx::metrics::names {\n"
+         "inline constexpr const char* kRmiCalls = \"rmi.calls\";\n"
+         "}  // namespace ohpx::metrics::names\n"
+         "namespace ohpx::metrics {\n"
+         "struct MetricsRegistry {\n"
+         "  static MetricsRegistry& global();\n"
+         "  unsigned long* counter_handle(const char*);\n"
+         "};\n"
+         "}  // namespace ohpx::metrics\n"
+         "namespace ohpx::orb {\n"
+         "void f() {\n"
+         "  metrics::MetricsRegistry::global().counter_handle(\n"
+         "      metrics::names::kRmiCalls);\n"
+         "}\n"
+         "}  // namespace ohpx::orb\n",
+         []),  # constants (not raw literals) must NOT trip the rule
+        ("registry internals are exempt",
+         "src/ohpx/metrics/metrics.cpp",
+         "namespace ohpx::metrics {\n"
+         "struct MetricsRegistry { unsigned long* counter_handle(const char*);"
+         " };\n"
+         "void warm(MetricsRegistry& registry) {\n"
+         '  registry.counter_handle("rmi.calls");\n'
+         "}\n"
+         "}  // namespace ohpx::metrics\n",
+         []),  # src/ohpx/metrics/ owns the names — never flagged
     ]
 
     for engine_name, factory in engine_factories:
