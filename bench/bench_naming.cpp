@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_support.hpp"
+#include "ohpx/naming/name_client.hpp"
 #include "ohpx/naming/name_service.hpp"
 
 namespace ohpx::bench {
@@ -88,10 +89,58 @@ void Name_BootstrapFirstCall(benchmark::State& state) {
   }
 }
 
+// The NameClient cache pair: the same lookup through the caching client,
+// warm and deliberately cold.  check_bench_json.py's `naming` gate holds
+// the fresh/cached ratio above a floor — a cache that stops caching (or a
+// hot map probe that grows a remote call) collapses the ratio and trips.
+void Name_ClientResolveCached(benchmark::State& state) {
+  auto& world = naming_world();
+  naming::NameClient names(world.client_for(true), world.host->ref());
+  benchmark::DoNotOptimize(names.resolve("svc/echo-0"));  // warm the entry
+  for (auto _ : state) {
+    auto ref = names.resolve("svc/echo-0");
+    benchmark::DoNotOptimize(ref);
+  }
+}
+
+void Name_ClientResolveFresh(benchmark::State& state) {
+  auto& world = naming_world();
+  naming::NameClient names(world.client_for(true), world.host->ref());
+  for (auto _ : state) {
+    auto ref = names.resolve_fresh("svc/echo-0");
+    benchmark::DoNotOptimize(ref);
+  }
+}
+
+// World::find_context_of at two world sizes.  The context index makes the
+// probe independent of context count; the 512/8 time ratio (gated by
+// check_bench_json.py) is the O(1)-ish assertion — a return to linear
+// scanning shows up as a ~64x ratio, far past the gate.
+void Name_FindContext(benchmark::State& state) {
+  const auto contexts = static_cast<std::size_t>(state.range(0));
+  runtime::World world;
+  const netsim::LanId lan = world.add_lan("lan");
+  const netsim::MachineId machine = world.add_machine("host", lan);
+  orb::Context* last = nullptr;
+  for (std::size_t i = 0; i < contexts; ++i) {
+    last = &world.create_context(machine);
+  }
+  const auto ref =
+      orb::RefBuilder(*last, std::make_shared<scenario::EchoServant>())
+          .build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.find_context_of(ref.object_id()));
+  }
+  state.counters["contexts"] = static_cast<double>(contexts);
+}
+
 BENCHMARK(Name_Resolve)->Arg(0)->Arg(1);
 BENCHMARK(Name_List);
 BENCHMARK(Name_BindUnbind);
 BENCHMARK(Name_BootstrapFirstCall);
+BENCHMARK(Name_ClientResolveCached);
+BENCHMARK(Name_ClientResolveFresh);
+BENCHMARK(Name_FindContext)->Arg(8)->Arg(512);
 
 }  // namespace
 }  // namespace ohpx::bench

@@ -133,7 +133,8 @@ constexpr PrefixRoute kHistogramPrefixes[] = {
 // Registry counters that are stored, not accumulated.
 bool is_gauge_name(std::string_view name) {
   return name == metrics::names::kReactorInflight ||
-         name == metrics::names::kReactorConnections;
+         name == metrics::names::kReactorConnections ||
+         name == metrics::names::kNamingReplicasLive;
 }
 
 const char* fixed_counter_help(std::string_view name) {

@@ -76,6 +76,29 @@ inline constexpr const char* kReactorConnections = "reactor.connections";
 /// threshold (each one also drops a flight-recorder entry).
 inline constexpr const char* kRmiReactorStall = "rmi.reactor.stall";
 
+// ---- naming / replica failover (naming/*.cpp) ------------------------------
+
+/// Bind operations accepted by a directory (bind + bind_replica).
+inline constexpr const char* kNamingBinds = "naming.binds";
+/// Resolve operations served (resolve, resolve_versioned, resolve_all).
+inline constexpr const char* kNamingResolves = "naming.resolves";
+/// Lease renewals accepted from registered replicas.
+inline constexpr const char* kNamingHeartbeats = "naming.heartbeats";
+/// Replica registrations dropped because their lease ran out.
+inline constexpr const char* kNamingExpired = "naming.expired";
+/// Replica registrations dropped by a client's dead-replica report.
+inline constexpr const char* kNamingDeadReports = "naming.dead_reports";
+/// Client-side rebinds to another replica after a transport loss or a
+/// breaker trip (naming/failover.hpp).
+inline constexpr const char* kNamingFailovers = "naming.failovers";
+/// NameClient resolve cache hit/miss split (naming/name_client.cpp).
+inline constexpr const char* kNamingResolveCacheHit =
+    "naming.resolve.cache_hit";
+inline constexpr const char* kNamingResolveCacheMiss =
+    "naming.resolve.cache_miss";
+/// Gauge (stored): live replica registrations across all names.
+inline constexpr const char* kNamingReplicasLive = "naming.replicas_live";
+
 // ---- server dispatch (orb/context.cpp) -------------------------------------
 
 inline constexpr const char* kServerRequests = "server.requests";

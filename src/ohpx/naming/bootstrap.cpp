@@ -1,0 +1,98 @@
+#include "ohpx/naming/bootstrap.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ohpx/common/error.hpp"
+#include "ohpx/naming/name_service.hpp"
+
+namespace ohpx::naming {
+
+orb::ObjectRef make_bootstrap_ref(const std::string& host,
+                                  std::uint16_t port) {
+  proto::ServerAddress address;
+  address.context_id = 0;
+  address.machine = netsim::kInvalidMachine;  // foreign: WAN-model placement
+  address.tcp_host = host;
+  address.tcp_port = port;
+  proto::ProtoTable table;
+  table.add(proto::ProtocolEntry{"tcp", {}});
+  return orb::ObjectRef(kWellKnownNameServiceId,
+                        std::string(NameServiceServant::kTypeName), address,
+                        std::move(table));
+}
+
+orb::ObjectRef bootstrap_from_uri(const std::string& uri) {
+  std::string spec = uri;
+  if (spec.rfind("file:", 0) == 0) {
+    return read_bootstrap_file(spec.substr(5));
+  }
+  if (spec.find('/') != std::string::npos ||
+      (spec.size() > 4 && spec.compare(spec.size() - 4, 4, ".ref") == 0)) {
+    return read_bootstrap_file(spec);
+  }
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "bootstrap URI '" + uri +
+                          "' is neither host:port nor a reference file");
+  }
+  const std::string host = spec.substr(0, colon);
+  int port = 0;
+  try {
+    port = std::stoi(spec.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "bootstrap URI '" + uri + "' has an invalid port");
+  }
+  return make_bootstrap_ref(host, static_cast<std::uint16_t>(port));
+}
+
+void write_bootstrap_file(const std::string& path,
+                          const orb::ObjectRef& ref) {
+  const Bytes raw = ref.to_bytes();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw ObjectError(ErrorCode::bad_object_ref,
+                        "cannot write bootstrap file '" + tmp + "'");
+    }
+    out.write(reinterpret_cast<const char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+    if (!out.good()) {
+      throw ObjectError(ErrorCode::bad_object_ref,
+                        "short write to bootstrap file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "cannot rename bootstrap file into '" + path + "'");
+  }
+}
+
+orb::ObjectRef read_bootstrap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "cannot read bootstrap file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  try {
+    return orb::ObjectRef::from_bytes(BytesView(
+        reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()));
+  } catch (const Error&) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "bootstrap file '" + path +
+                          "' does not hold a serialized reference");
+  }
+}
+
+}  // namespace ohpx::naming

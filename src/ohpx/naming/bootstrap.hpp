@@ -1,0 +1,43 @@
+// Bootstrap references: how a process with *no* prior Open HPC++ state
+// finds the name service.  Everything else is resolved through the
+// directory, so this is the deployment's single well-known coordinate.
+//
+// Two interchangeable formats (docs/deployment.md):
+//   "host:port"    — the daemon's TCP coordinate; the client synthesizes a
+//                    reference to the well-known directory object id.
+//   a file path    — the serialized reference `ohpx-named --ref-file`
+//                    wrote (detected by a '/' in the URI, a "file:"
+//                    prefix, or a ".ref" suffix).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ohpx/orb/object_ref.hpp"
+
+namespace ohpx::naming {
+
+/// The directory servant's well-known object id ("ohpx-nam" in ASCII).
+/// Every ohpx-named instance activates under this id, which is what makes
+/// a bare host:port a complete bootstrap coordinate.
+inline constexpr orb::ObjectId kWellKnownNameServiceId = 0x6f68'7078'2d6e'616dULL;
+
+/// Synthesizes a reference to the directory at `host`:`port` — TCP-only
+/// protocol table, foreign machine id (placement falls back to the WAN
+/// model), the well-known object id.
+orb::ObjectRef make_bootstrap_ref(const std::string& host, std::uint16_t port);
+
+/// Turns a bootstrap URI (either format above) into a reference.
+/// Throws ObjectError(bad_object_ref) for unparseable URIs and
+/// unreadable/garbled files.
+orb::ObjectRef bootstrap_from_uri(const std::string& uri);
+
+/// Writes `ref` serialized to `path` (temp file + rename, so a concurrent
+/// reader never sees a half-written reference).
+void write_bootstrap_file(const std::string& path, const orb::ObjectRef& ref);
+
+/// Reads a serialized reference back.  Throws ObjectError(bad_object_ref)
+/// when missing or garbled.
+orb::ObjectRef read_bootstrap_file(const std::string& path);
+
+}  // namespace ohpx::naming

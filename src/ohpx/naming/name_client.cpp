@@ -1,0 +1,108 @@
+#include "ohpx/naming/name_client.hpp"
+
+#include "ohpx/metrics/metric_names.hpp"
+#include "ohpx/naming/bootstrap.hpp"
+
+namespace ohpx::naming {
+
+NameClient::NameClient(orb::Context& context, orb::ObjectRef bootstrap)
+    : stub_(context, std::move(bootstrap)) {
+  auto& registry = metrics::MetricsRegistry::global();
+  cache_hits_ =
+      registry.counter_handle(metrics::names::kNamingResolveCacheHit);
+  cache_misses_ =
+      registry.counter_handle(metrics::names::kNamingResolveCacheMiss);
+}
+
+NameClient::NameClient(orb::Context& context, const std::string& bootstrap_uri)
+    : NameClient(context, bootstrap_from_uri(bootstrap_uri)) {}
+
+orb::ObjectRef NameClient::resolve(const std::string& name) {
+  {
+    sync::LockGuard lock(mutex_);
+    const auto it = cache_.find(name);
+    if (it != cache_.end()) {
+      cache_hits_->fetch_add(1, std::memory_order_relaxed);
+      return orb::ObjectRef::from_bytes(it->second.ref);
+    }
+  }
+  cache_misses_->fetch_add(1, std::memory_order_relaxed);
+  return resolve_fresh(name);
+}
+
+orb::ObjectRef NameClient::resolve_fresh(const std::string& name) {
+  auto [version, ref] = stub_.resolve_versioned(name);
+  sync::LockGuard lock(mutex_);
+  // A concurrent refresh may already hold a newer version; never let an
+  // older in-flight reply roll the cache backwards.
+  CacheEntry& entry = cache_[name];
+  if (entry.version <= version) {
+    entry = CacheEntry{ref.to_bytes(), version};
+    return ref;
+  }
+  return orb::ObjectRef::from_bytes(entry.ref);
+}
+
+std::pair<std::uint64_t, std::vector<orb::ObjectRef>> NameClient::resolve_all(
+    const std::string& name) {
+  return stub_.resolve_all(name);
+}
+
+void NameClient::invalidate(const std::string& name) {
+  sync::LockGuard lock(mutex_);
+  cache_.erase(name);
+}
+
+void NameClient::invalidate_all() {
+  sync::LockGuard lock(mutex_);
+  cache_.clear();
+}
+
+std::optional<std::uint64_t> NameClient::cached_version(
+    const std::string& name) const {
+  sync::LockGuard lock(mutex_);
+  const auto it = cache_.find(name);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+void NameClient::bind(const std::string& name, const orb::ObjectRef& ref,
+                      bool rebind) {
+  stub_.bind(name, ref, rebind);
+  invalidate(name);
+}
+
+bool NameClient::unbind(const std::string& name) {
+  const bool existed = stub_.unbind(name);
+  invalidate(name);
+  return existed;
+}
+
+std::uint64_t NameClient::bind_replica(const std::string& name,
+                                       const orb::ObjectRef& ref,
+                                       std::chrono::milliseconds ttl) {
+  const std::uint64_t replica_id = stub_.bind_replica(name, ref, ttl);
+  invalidate(name);
+  return replica_id;
+}
+
+bool NameClient::heartbeat(const std::string& name, std::uint64_t replica_id,
+                           std::chrono::milliseconds ttl) {
+  return stub_.heartbeat(name, replica_id, ttl);
+}
+
+bool NameClient::unbind_replica(const std::string& name,
+                                std::uint64_t replica_id) {
+  const bool existed = stub_.unbind_replica(name, replica_id);
+  invalidate(name);
+  return existed;
+}
+
+std::uint64_t NameClient::report_dead(const std::string& name,
+                                      const orb::ObjectRef& dead) {
+  const std::uint64_t dropped = stub_.report_dead(name, dead);
+  if (dropped > 0) invalidate(name);
+  return dropped;
+}
+
+}  // namespace ohpx::naming

@@ -1,0 +1,89 @@
+// NameClient: the caching client face of the directory (satellite of the
+// multi-process deployment work, but useful in-process too).
+//
+// resolve() memoizes {reference, entry version} per name, so steady-state
+// lookups cost a map probe instead of a remote call.  The version is the
+// staleness token: the directory bumps it on *every* mutation of a name,
+// and resolve replies carry it, so a cache refresh can tell whether the
+// world moved underneath it.  invalidate(name) drops one cached entry —
+// failover clients call it when a replica dies so the next resolve goes
+// back to the directory.
+//
+// Thread-safe; one NameClient is typically shared by every stub a process
+// binds through it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ohpx/common/annotations.hpp"
+#include "ohpx/metrics/metrics.hpp"
+#include "ohpx/naming/name_service.hpp"
+#include "ohpx/sync/mutex.hpp"
+
+namespace ohpx::naming {
+
+class NameClient {
+ public:
+  /// Binds to the directory at `bootstrap` (typically from
+  /// bootstrap_from_uri() or NameServiceHost::ref()).
+  NameClient(orb::Context& context, orb::ObjectRef bootstrap);
+
+  /// Convenience: parses a bootstrap URI (host:port or reference file).
+  NameClient(orb::Context& context, const std::string& bootstrap_uri);
+
+  /// The raw directory stub (uncached operations).
+  NameServiceStub& directory() noexcept { return stub_; }
+
+  /// Cached resolve.  A hit answers from memory; a miss asks the
+  /// directory and remembers {ref, version}.  Throws
+  /// ObjectError(object_not_found) for unbound names.
+  orb::ObjectRef resolve(const std::string& name);
+
+  /// Bypasses and refills the cache (always a remote call).
+  orb::ObjectRef resolve_fresh(const std::string& name);
+
+  /// Every live replica of `name` plus the entry version; never cached —
+  /// failover wants the directory's current truth.
+  std::pair<std::uint64_t, std::vector<orb::ObjectRef>> resolve_all(
+      const std::string& name);
+
+  /// Drops one cached entry; the next resolve() re-asks the directory.
+  void invalidate(const std::string& name);
+  void invalidate_all();
+
+  /// Version the cache holds for `name` (nullopt = not cached).
+  std::optional<std::uint64_t> cached_version(const std::string& name) const;
+
+  // Write-through passthroughs (mutations invalidate the local cache so a
+  // process never serves its own stale write).
+  void bind(const std::string& name, const orb::ObjectRef& ref,
+            bool rebind = false);
+  bool unbind(const std::string& name);
+  std::uint64_t bind_replica(const std::string& name,
+                             const orb::ObjectRef& ref,
+                             std::chrono::milliseconds ttl);
+  bool heartbeat(const std::string& name, std::uint64_t replica_id,
+                 std::chrono::milliseconds ttl);
+  bool unbind_replica(const std::string& name, std::uint64_t replica_id);
+  std::uint64_t report_dead(const std::string& name,
+                            const orb::ObjectRef& dead);
+
+ private:
+  struct CacheEntry {
+    Bytes ref;
+    std::uint64_t version = 0;
+  };
+
+  NameServiceStub stub_;
+  mutable sync::Mutex mutex_{"naming.client_cache"};
+  std::map<std::string, CacheEntry> cache_ OHPX_GUARDED_BY(mutex_);
+  metrics::MetricsRegistry::Counter* cache_hits_;
+  metrics::MetricsRegistry::Counter* cache_misses_;
+};
+
+}  // namespace ohpx::naming

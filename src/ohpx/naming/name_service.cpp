@@ -1,8 +1,30 @@
 #include "ohpx/naming/name_service.hpp"
 
+#include <algorithm>
+
+#include "ohpx/metrics/metric_names.hpp"
 #include "ohpx/sync/mutex.hpp"
 
 namespace ohpx::naming {
+namespace {
+
+std::shared_ptr<cap::LeaseCapability> make_lease(
+    std::chrono::milliseconds ttl) {
+  if (ttl.count() <= 0) return nullptr;  // permanent registration
+  return std::make_shared<cap::LeaseCapability>(ttl);
+}
+
+}  // namespace
+
+NameServiceServant::NameServiceServant() {
+  auto& registry = metrics::MetricsRegistry::global();
+  binds_ = registry.counter_handle(metrics::names::kNamingBinds);
+  resolves_ = registry.counter_handle(metrics::names::kNamingResolves);
+  heartbeats_ = registry.counter_handle(metrics::names::kNamingHeartbeats);
+  expired_ = registry.counter_handle(metrics::names::kNamingExpired);
+  dead_reports_ = registry.counter_handle(metrics::names::kNamingDeadReports);
+  replicas_live_ = registry.counter_handle(metrics::names::kNamingReplicasLive);
+}
 
 void NameServiceServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
                                   wire::Encoder& out) {
@@ -32,6 +54,53 @@ void NameServiceServant::dispatch(std::uint32_t method_id, wire::Decoder& in,
       orb::marshal_result(out, list(prefix));
       return;
     }
+    case kBindReplica: {
+      auto [name, raw, ttl_ms] =
+          orb::unmarshal<std::string, Bytes, std::uint64_t>(in);
+      orb::marshal_result(
+          out, bind_replica(name, orb::ObjectRef::from_bytes(raw),
+                            std::chrono::milliseconds(ttl_ms)));
+      return;
+    }
+    case kHeartbeat: {
+      auto [name, replica_id, ttl_ms] =
+          orb::unmarshal<std::string, std::uint64_t, std::uint64_t>(in);
+      orb::marshal_result(
+          out, heartbeat(name, replica_id, std::chrono::milliseconds(ttl_ms)));
+      return;
+    }
+    case kUnbindReplica: {
+      auto [name, replica_id] = orb::unmarshal<std::string, std::uint64_t>(in);
+      orb::marshal_result(out, unbind_replica(name, replica_id));
+      return;
+    }
+    case kResolveAll: {
+      auto [name] = orb::unmarshal<std::string>(in);
+      auto [version, refs] = resolve_all(name);
+      std::vector<Bytes> raws;
+      raws.reserve(refs.size());
+      for (const auto& ref : refs) raws.push_back(ref.to_bytes());
+      orb::marshal_result(out, std::make_pair(version, std::move(raws)));
+      return;
+    }
+    case kReportDead: {
+      auto [name, raw] = orb::unmarshal<std::string, Bytes>(in);
+      orb::marshal_result(
+          out, static_cast<std::uint64_t>(
+                   report_dead(name, orb::ObjectRef::from_bytes(raw))));
+      return;
+    }
+    case kResolveVersioned: {
+      auto [name] = orb::unmarshal<std::string>(in);
+      const auto hit = resolve_versioned(name);
+      if (!hit) {
+        throw ObjectError(ErrorCode::object_not_found,
+                          "no binding for name '" + name + "'");
+      }
+      orb::marshal_result(out,
+                          std::make_pair(hit->first, hit->second.to_bytes()));
+      return;
+    }
     default:
       orb::unknown_method(kTypeName, method_id);
   }
@@ -43,32 +112,68 @@ void NameServiceServant::bind(const std::string& name,
     throw ObjectError(ErrorCode::bad_object_ref,
                       "cannot bind an invalid reference");
   }
+  binds_->fetch_add(1, std::memory_order_relaxed);
   sync::LockGuard lock(mutex_);
-  if (!rebind && entries_.contains(name)) {
-    throw ObjectError(ErrorCode::bad_object_ref,
-                      "name '" + name + "' is already bound");
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    prune_locked(name, it->second);
+    if (!it->second.replicas.empty() && !rebind) {
+      throw ObjectError(ErrorCode::bad_object_ref,
+                        "name '" + name + "' is already bound");
+    }
   }
-  entries_[name] = ref.to_bytes();
+  // Plain bind replaces the whole replica set with one permanent record.
+  Entry& entry = entries_[name];
+  entry.replicas.clear();
+  entry.replicas.push_back(
+      ReplicaRecord{next_replica_id_++, ref.to_bytes(), nullptr});
+  bump_version_locked(name);
+  refresh_live_gauge_locked();
 }
 
 std::optional<orb::ObjectRef> NameServiceServant::resolve(
     const std::string& name) const {
+  const auto hit = resolve_versioned(name);
+  if (!hit) return std::nullopt;
+  return hit->second;
+}
+
+std::optional<std::pair<std::uint64_t, orb::ObjectRef>>
+NameServiceServant::resolve_versioned(const std::string& name) const {
+  resolves_->fetch_add(1, std::memory_order_relaxed);
   sync::LockGuard lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return std::nullopt;
-  return orb::ObjectRef::from_bytes(it->second);
+  if (prune_locked(name, it->second) > 0 && it->second.replicas.empty()) {
+    entries_.erase(it);
+    refresh_live_gauge_locked();
+    return std::nullopt;
+  }
+  const auto version_it = versions_.find(name);
+  return std::make_pair(
+      version_it == versions_.end() ? 0 : version_it->second,
+      orb::ObjectRef::from_bytes(it->second.replicas.front().ref));
 }
 
 bool NameServiceServant::unbind(const std::string& name) {
   sync::LockGuard lock(mutex_);
-  return entries_.erase(name) != 0;
+  const bool existed = entries_.erase(name) != 0;
+  if (existed) {
+    bump_version_locked(name);
+    refresh_live_gauge_locked();
+  }
+  return existed;
 }
 
 std::vector<std::string> NameServiceServant::list(
     const std::string& prefix) const {
   sync::LockGuard lock(mutex_);
   std::vector<std::string> out;
-  for (const auto& [name, raw] : entries_) {
+  for (const auto& [name, entry] : entries_) {
+    const bool any_live =
+        std::any_of(entry.replicas.begin(), entry.replicas.end(),
+                    [](const ReplicaRecord& r) { return r.live(); });
+    if (!any_live) continue;
     if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
   }
   return out;
@@ -76,7 +181,161 @@ std::vector<std::string> NameServiceServant::list(
 
 std::size_t NameServiceServant::size() const {
   sync::LockGuard lock(mutex_);
-  return entries_.size();
+  std::size_t count = 0;
+  for (const auto& [name, entry] : entries_) {
+    count += std::any_of(entry.replicas.begin(), entry.replicas.end(),
+                         [](const ReplicaRecord& r) { return r.live(); })
+                 ? 1
+                 : 0;
+  }
+  return count;
+}
+
+std::uint64_t NameServiceServant::bind_replica(const std::string& name,
+                                               const orb::ObjectRef& ref,
+                                               std::chrono::milliseconds ttl) {
+  if (!ref.valid()) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "cannot bind an invalid reference");
+  }
+  binds_->fetch_add(1, std::memory_order_relaxed);
+  sync::LockGuard lock(mutex_);
+  Entry& entry = entries_[name];
+  prune_locked(name, entry);
+  const std::uint64_t replica_id = next_replica_id_++;
+  entry.replicas.push_back(ReplicaRecord{replica_id, ref.to_bytes(),
+                                         make_lease(ttl)});
+  bump_version_locked(name);
+  refresh_live_gauge_locked();
+  return replica_id;
+}
+
+bool NameServiceServant::heartbeat(const std::string& name,
+                                   std::uint64_t replica_id,
+                                   std::chrono::milliseconds ttl) {
+  heartbeats_->fetch_add(1, std::memory_order_relaxed);
+  sync::LockGuard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  for (ReplicaRecord& record : it->second.replicas) {
+    if (record.replica_id != replica_id) continue;
+    if (!record.live()) break;  // lease already ran out: re-register
+    // Renewal = a fresh lease; heartbeats never resurrect expired records,
+    // so a partitioned server cannot sneak back without re-registering.
+    record.lease = make_lease(ttl);
+    return true;
+  }
+  return false;
+}
+
+bool NameServiceServant::unbind_replica(const std::string& name,
+                                        std::uint64_t replica_id) {
+  sync::LockGuard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  auto& replicas = it->second.replicas;
+  const auto match = std::find_if(
+      replicas.begin(), replicas.end(),
+      [&](const ReplicaRecord& r) { return r.replica_id == replica_id; });
+  if (match == replicas.end()) return false;
+  replicas.erase(match);
+  if (replicas.empty()) entries_.erase(it);
+  bump_version_locked(name);
+  refresh_live_gauge_locked();
+  return true;
+}
+
+std::pair<std::uint64_t, std::vector<orb::ObjectRef>>
+NameServiceServant::resolve_all(const std::string& name) const {
+  resolves_->fetch_add(1, std::memory_order_relaxed);
+  sync::LockGuard lock(mutex_);
+  std::vector<orb::ObjectRef> refs;
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (prune_locked(name, it->second) > 0 && it->second.replicas.empty()) {
+      entries_.erase(it);
+      refresh_live_gauge_locked();
+    } else {
+      refs.reserve(it->second.replicas.size());
+      for (const ReplicaRecord& record : it->second.replicas) {
+        refs.push_back(orb::ObjectRef::from_bytes(record.ref));
+      }
+    }
+  }
+  const auto version_it = versions_.find(name);
+  const std::uint64_t version =
+      version_it == versions_.end() ? 0 : version_it->second;
+  return {version, std::move(refs)};
+}
+
+std::size_t NameServiceServant::report_dead(const std::string& name,
+                                            const orb::ObjectRef& dead) {
+  dead_reports_->fetch_add(1, std::memory_order_relaxed);
+  sync::LockGuard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return 0;
+  auto& replicas = it->second.replicas;
+  const std::size_t before = replicas.size();
+  replicas.erase(
+      std::remove_if(replicas.begin(), replicas.end(),
+                     [&](const ReplicaRecord& record) {
+                       return same_replica(
+                           orb::ObjectRef::from_bytes(record.ref), dead);
+                     }),
+      replicas.end());
+  const std::size_t dropped = before - replicas.size();
+  if (dropped > 0) {
+    if (replicas.empty()) entries_.erase(it);
+    bump_version_locked(name);
+    refresh_live_gauge_locked();
+  }
+  return dropped;
+}
+
+std::uint64_t NameServiceServant::version_of(const std::string& name) const {
+  sync::LockGuard lock(mutex_);
+  const auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+std::size_t NameServiceServant::sweep_expired() {
+  sync::LockGuard lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    dropped += prune_locked(it->first, it->second);
+    it = it->second.replicas.empty() ? entries_.erase(it) : std::next(it);
+  }
+  if (dropped > 0) refresh_live_gauge_locked();
+  return dropped;
+}
+
+std::size_t NameServiceServant::prune_locked(const std::string& name,
+                                             Entry& entry) const {
+  const std::size_t before = entry.replicas.size();
+  entry.replicas.erase(
+      std::remove_if(entry.replicas.begin(), entry.replicas.end(),
+                     [](const ReplicaRecord& r) { return !r.live(); }),
+      entry.replicas.end());
+  const std::size_t dropped = before - entry.replicas.size();
+  if (dropped > 0) {
+    expired_->fetch_add(dropped, std::memory_order_relaxed);
+    bump_version_locked(name);
+  }
+  return dropped;
+}
+
+void NameServiceServant::bump_version_locked(const std::string& name) const {
+  ++versions_[name];
+}
+
+void NameServiceServant::refresh_live_gauge_locked() const {
+  std::uint64_t live = 0;
+  for (const auto& [name, entry] : entries_) {
+    for (const ReplicaRecord& record : entry.replicas) {
+      if (record.live()) ++live;
+    }
+  }
+  replicas_live_->store(live, std::memory_order_relaxed);
 }
 
 NameServiceHost::NameServiceHost(orb::Context& context)

@@ -12,14 +12,27 @@
 //
 // Names are flat strings; use '/' segments by convention.  bind() on an
 // existing name throws unless rebind is requested.
+//
+// Replica sets (docs/deployment.md): several servers may register under
+// one name with bind_replica(), each registration kept alive by a lease
+// (capability/builtin/lease.hpp) that heartbeats renew.  resolve() hands
+// out the first *live* replica; resolve_all() hands out every live one so
+// failover clients can walk the set.  Every mutation of a name — bind,
+// replica join/leave, lease expiry, dead report — bumps that name's
+// version, which travels with resolve replies so client caches
+// (NameClient) can detect staleness.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ohpx/capability/builtin/lease.hpp"
 #include "ohpx/common/annotations.hpp"
+#include "ohpx/metrics/metrics.hpp"
 #include "ohpx/orb/global_pointer.hpp"
 #include "ohpx/orb/ref_builder.hpp"
 #include "ohpx/orb/servant.hpp"
@@ -28,6 +41,28 @@
 
 namespace ohpx::naming {
 
+/// Replica identity: object ids are per-context counters, so two
+/// *processes* hosting replicas of one name routinely collide on
+/// object_id alone.  What a client actually observed dead is the
+/// (object id, home TCP endpoint) pair — the comparison every dead-report
+/// and failover-skip decision uses.
+inline bool same_replica(const orb::ObjectRef& a,
+                         const orb::ObjectRef& b) noexcept {
+  return a.object_id() == b.object_id() &&
+         a.home().tcp_host == b.home().tcp_host &&
+         a.home().tcp_port == b.home().tcp_port;
+}
+
+/// One registered replica of a name: the serialized OR plus the lease
+/// keeping it alive (a null lease never expires — plain bind() records).
+struct ReplicaRecord {
+  std::uint64_t replica_id = 0;
+  Bytes ref;
+  std::shared_ptr<cap::LeaseCapability> lease;
+
+  bool live() const noexcept { return !lease || !lease->expired(); }
+};
+
 /// The directory servant.  Thread-safe; stores serialized ORs so entries
 /// survive independent of any context's lifetime.
 class NameServiceServant final : public orb::Servant {
@@ -35,11 +70,19 @@ class NameServiceServant final : public orb::Servant {
   static constexpr std::string_view kTypeName = "NameService";
 
   enum Method : std::uint32_t {
-    kBind = 1,     // (name: string, ref: bytes, rebind: bool) -> ()
-    kResolve = 2,  // (name: string) -> bytes
-    kUnbind = 3,   // (name: string) -> bool (existed)
-    kList = 4,     // (prefix: string) -> vector<string>
+    kBind = 1,        // (name: string, ref: bytes, rebind: bool) -> ()
+    kResolve = 2,     // (name: string) -> bytes
+    kUnbind = 3,      // (name: string) -> bool (existed)
+    kList = 4,        // (prefix: string) -> vector<string>
+    kBindReplica = 5,      // (name, ref: bytes, ttl_ms: u64) -> u64 id
+    kHeartbeat = 6,        // (name, replica_id: u64, ttl_ms: u64) -> bool
+    kUnbindReplica = 7,    // (name, replica_id: u64) -> bool
+    kResolveAll = 8,       // (name) -> pair<u64 version, vector<bytes>>
+    kReportDead = 9,       // (name, dead ref: bytes) -> u64 (dropped)
+    kResolveVersioned = 10,  // (name) -> pair<u64 version, bytes>
   };
+
+  NameServiceServant();
 
   std::string_view type_name() const noexcept override { return kTypeName; }
   void dispatch(std::uint32_t method_id, wire::Decoder& in,
@@ -53,9 +96,75 @@ class NameServiceServant final : public orb::Servant {
   std::vector<std::string> list(const std::string& prefix) const;
   std::size_t size() const;
 
+  // -- replica sets + leases --
+
+  /// Adds `ref` as a replica of `name` under a `ttl`-long lease (renewed
+  /// by heartbeats; ttl zero = no lease, never expires).  Returns the
+  /// replica id the registrant heartbeats with.
+  std::uint64_t bind_replica(const std::string& name,
+                             const orb::ObjectRef& ref,
+                             std::chrono::milliseconds ttl);
+
+  /// Renews one replica's lease.  False when the registration is gone
+  /// (expired and swept, or the daemon restarted) — re-register then.
+  bool heartbeat(const std::string& name, std::uint64_t replica_id,
+                 std::chrono::milliseconds ttl);
+
+  /// Withdraws one replica (clean shutdown).  False when unknown.
+  bool unbind_replica(const std::string& name, std::uint64_t replica_id);
+
+  /// Every live replica of `name`, with the entry version the set was
+  /// read at.  Unbound names answer {version, empty}.
+  std::pair<std::uint64_t, std::vector<orb::ObjectRef>> resolve_all(
+      const std::string& name) const;
+
+  /// resolve() plus the entry version (std::nullopt when unbound).
+  std::optional<std::pair<std::uint64_t, orb::ObjectRef>> resolve_versioned(
+      const std::string& name) const;
+
+  /// A client observed the replica behind `dead` down (connection refused
+  /// / reset mid-call).  Drops registrations matching it (same_replica) —
+  /// failover must not wait out the lease.  Returns how many dropped.
+  std::size_t report_dead(const std::string& name, const orb::ObjectRef& dead);
+
+  /// Entry version of `name`: bumped by every mutation (bind, replica
+  /// join/leave, expiry, dead report).  Survives unbind so a re-created
+  /// name never reuses a version a cache may still hold.  0 = never bound.
+  std::uint64_t version_of(const std::string& name) const;
+
+  /// Purges expired replicas across all names (the daemon's periodic
+  /// sweep; resolve paths also purge lazily).  Returns replicas dropped.
+  std::size_t sweep_expired();
+
  private:
+  struct Entry {
+    std::vector<ReplicaRecord> replicas;
+  };
+
+  /// Drops expired replicas of one entry; bumps the version when anything
+  /// went.  Returns the number dropped.  const because lease expiry makes
+  /// every read path a potential pruner (entries_ et al. are mutable).
+  std::size_t prune_locked(const std::string& name, Entry& entry) const
+      OHPX_REQUIRES(mutex_);
+  void bump_version_locked(const std::string& name) const
+      OHPX_REQUIRES(mutex_);
+  void refresh_live_gauge_locked() const OHPX_REQUIRES(mutex_);
+
   mutable sync::Mutex mutex_{"naming.directory"};
-  std::map<std::string, Bytes> entries_ OHPX_GUARDED_BY(mutex_);
+  mutable std::map<std::string, Entry> entries_ OHPX_GUARDED_BY(mutex_);
+  /// Never-erased per-name version floor (see version_of()).
+  mutable std::map<std::string, std::uint64_t> versions_
+      OHPX_GUARDED_BY(mutex_);
+  std::uint64_t next_replica_id_ OHPX_GUARDED_BY(mutex_) = 1;
+
+  // Interned naming.* metrics (metric_names.hpp): the exporter and
+  // ohpx-top render these without knowing about the naming layer.
+  metrics::MetricsRegistry::Counter* binds_;
+  metrics::MetricsRegistry::Counter* resolves_;
+  metrics::MetricsRegistry::Counter* heartbeats_;
+  metrics::MetricsRegistry::Counter* expired_;
+  metrics::MetricsRegistry::Counter* dead_reports_;
+  metrics::MetricsRegistry::Counter* replicas_live_;  // gauge (stored)
 };
 
 /// Typed client stub for the directory.
@@ -75,12 +184,55 @@ class NameServiceStub : public orb::ObjectStub {
     return orb::ObjectRef::from_bytes(raw);
   }
 
+  /// As resolve(), also returning the entry version the reply was read
+  /// at (the staleness token NameClient caches against).
+  std::pair<std::uint64_t, orb::ObjectRef> resolve_versioned(
+      const std::string& name) {
+    auto [version, raw] = call<std::pair<std::uint64_t, Bytes>>(
+        NameServiceServant::kResolveVersioned, name);
+    return {version, orb::ObjectRef::from_bytes(raw)};
+  }
+
   bool unbind(const std::string& name) {
     return call<bool>(NameServiceServant::kUnbind, name);
   }
 
   std::vector<std::string> list(const std::string& prefix = "") {
     return call<std::vector<std::string>>(NameServiceServant::kList, prefix);
+  }
+
+  std::uint64_t bind_replica(const std::string& name,
+                             const orb::ObjectRef& ref,
+                             std::chrono::milliseconds ttl) {
+    return call<std::uint64_t>(NameServiceServant::kBindReplica, name,
+                               ref.to_bytes(),
+                               static_cast<std::uint64_t>(ttl.count()));
+  }
+
+  bool heartbeat(const std::string& name, std::uint64_t replica_id,
+                 std::chrono::milliseconds ttl) {
+    return call<bool>(NameServiceServant::kHeartbeat, name, replica_id,
+                      static_cast<std::uint64_t>(ttl.count()));
+  }
+
+  bool unbind_replica(const std::string& name, std::uint64_t replica_id) {
+    return call<bool>(NameServiceServant::kUnbindReplica, name, replica_id);
+  }
+
+  std::pair<std::uint64_t, std::vector<orb::ObjectRef>> resolve_all(
+      const std::string& name) {
+    auto [version, raws] = call<std::pair<std::uint64_t, std::vector<Bytes>>>(
+        NameServiceServant::kResolveAll, name);
+    std::vector<orb::ObjectRef> refs;
+    refs.reserve(raws.size());
+    for (const Bytes& raw : raws) refs.push_back(orb::ObjectRef::from_bytes(raw));
+    return {version, std::move(refs)};
+  }
+
+  std::uint64_t report_dead(const std::string& name,
+                            const orb::ObjectRef& dead) {
+    return call<std::uint64_t>(NameServiceServant::kReportDead, name,
+                               dead.to_bytes());
   }
 };
 

@@ -89,10 +89,21 @@ Context::~Context() {
   }
 }
 
-void Context::enable_tcp() {
+void Context::enable_tcp() { enable_tcp("127.0.0.1", 0); }
+
+void Context::enable_tcp(const std::string& listen_host, std::uint16_t port,
+                         const std::string& advertise_host) {
   if (listener_) return;
   listener_ = std::make_unique<transport::TcpListener>(
-      0, [this](const wire::Buffer& frame) { return handle_frame(frame); });
+      listen_host, port,
+      [this](const wire::Buffer& frame) { return handle_frame(frame); });
+  if (!advertise_host.empty()) {
+    advertise_host_ = advertise_host;
+  } else if (listen_host.empty() || listen_host == "0.0.0.0") {
+    advertise_host_ = "127.0.0.1";  // peers cannot dial a wildcard bind
+  } else {
+    advertise_host_ = listen_host;
+  }
   // Republish every hosted object so references pick up the TCP address.
   std::vector<ObjectId> hosted = hosted_objects();
   for (ObjectId object_id : hosted) {
@@ -106,7 +117,7 @@ proto::ServerAddress Context::current_address() const {
   address.machine = machine_;
   address.endpoint = endpoint_;
   if (listener_) {
-    address.tcp_host = "127.0.0.1";
+    address.tcp_host = advertise_host_;
     address.tcp_port = listener_->port();
   }
   return address;

@@ -68,10 +68,20 @@ class Context {
   proto::ProtoPool& pool() noexcept { return pool_; }
   const proto::ProtoPool& pool() const noexcept { return pool_; }
 
-  /// Starts a real TCP listener for this context (loopback); after this
-  /// the context's address advertises host/port and the "tcp" protocol
-  /// becomes applicable to it.
+  /// Starts a real TCP listener for this context (loopback, ephemeral
+  /// port); after this the context's address advertises host/port and the
+  /// "tcp" protocol becomes applicable to it.
   void enable_tcp();
+
+  /// As enable_tcp(), binding `listen_host`:`port` (port 0 = ephemeral,
+  /// host "0.0.0.0" = all interfaces).  `advertise_host` is the address
+  /// minted into ORs and the location service — the name peers dial.  It
+  /// defaults to `listen_host`, or 127.0.0.1 for wildcard binds (a peer
+  /// cannot dial 0.0.0.0); multi-machine deployments pass the machine's
+  /// routable name here (docs/deployment.md).
+  void enable_tcp(const std::string& listen_host, std::uint16_t port,
+                  const std::string& advertise_host = "");
+
   bool tcp_enabled() const noexcept { return listener_ != nullptr; }
 
   /// This context's current address block (what the location service and
@@ -175,6 +185,7 @@ class Context {
       OHPX_GUARDED_BY(mutex_);
 
   std::unique_ptr<transport::TcpListener> listener_;
+  std::string advertise_host_;  // set alongside listener_
   std::atomic<std::uint64_t> request_counter_{0};
   trace::SamplingOverride trace_sampling_;
   resilience::RetryOverride retry_policy_;

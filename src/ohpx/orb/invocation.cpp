@@ -79,6 +79,7 @@ void CallCore::set_breaker_config(const resilience::BreakerConfig& config) {
     if (config.enabled()) {
       breakers_ =
           std::make_shared<resilience::BreakerSet>(protocols_.size(), config);
+      if (breaker_trip_hook_) breakers_->set_trip_hook(breaker_trip_hook_);
       breakers_enabled_.store(true, std::memory_order_release);
       registered = breakers_;
     } else {
@@ -97,6 +98,12 @@ void CallCore::set_breaker_config(const resilience::BreakerConfig& config) {
   } else {
     resilience::BreakerRegistry::global().remove(label);
   }
+}
+
+void CallCore::set_breaker_trip_hook(resilience::BreakerSet::TripHook hook) {
+  sync::LockGuard lock(mutex_);
+  breaker_trip_hook_ = std::move(hook);
+  if (breakers_) breakers_->set_trip_hook(breaker_trip_hook_);
 }
 
 resilience::CircuitBreaker::State CallCore::breaker_state(
@@ -424,6 +431,7 @@ wire::Buffer CallCore::invoke_internal(std::uint32_t method_id,
           introspect::FlightRecorder::global().record(
               introspect::EventKind::breaker_open, e.code(), protocol->name());
           trace::event("breaker.open", protocol->name());
+          breakers->notify_trip(entry_index);
         }
       }
       {
@@ -623,6 +631,7 @@ Future<proto::ReplyMessage> CallCore::invoke_async_reply(
         if (transition == resilience::CircuitBreaker::Transition::opened) {
           breaker_opened_->fetch_add(1, std::memory_order_relaxed);
           trace::event("breaker.open", protocol->name());
+          breakers->notify_trip(entry_index);
         }
       }
       throw;
@@ -690,7 +699,11 @@ wire::Buffer CallCore::finish_async_reply(Future<proto::ReplyMessage> settled,
     throw;
   } catch (const TransportError& e) {
     if (ticket.breakers && e.code() != ErrorCode::backpressure) {
-      ticket.breakers->at(ticket.entry_index).on_failure();
+      const auto transition =
+          ticket.breakers->at(ticket.entry_index).on_failure();
+      if (transition == resilience::CircuitBreaker::Transition::opened) {
+        ticket.breakers->notify_trip(ticket.entry_index);
+      }
     }
     throw;
   }

@@ -172,6 +172,13 @@ class CallCore {
   /// not enabled) — the observable for failover tests and metrics dumps.
   resilience::CircuitBreaker::State breaker_state(std::size_t entry) const;
 
+  /// Installs a hook invoked each time a breaker entry opens (nullptr
+  /// clears it).  Survives set_breaker_config(): the hook is re-applied to
+  /// the replacement set.  The installer must clear the hook before any
+  /// state it captures dies — async settlement tickets keep the breaker
+  /// set (and therefore the hook) alive past this CallCore.
+  void set_breaker_trip_hook(resilience::BreakerSet::TripHook hook);
+
  private:
   /// One memoized selection: valid while the location epoch and pool
   /// generation both still match.  `protocol` points into `protocols_`
@@ -274,6 +281,7 @@ class CallCore {
   std::string last_protocol_ OHPX_GUARDED_BY(mutex_);
   resilience::RetryPolicy cached_policy_ OHPX_GUARDED_BY(mutex_);
   std::shared_ptr<resilience::BreakerSet> breakers_ OHPX_GUARDED_BY(mutex_);
+  resilience::BreakerSet::TripHook breaker_trip_hook_ OHPX_GUARDED_BY(mutex_);
 };
 
 using CallCorePtr = std::shared_ptr<CallCore>;

@@ -1,0 +1,263 @@
+#include "ohpx/runtime/process_host.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "ohpx/common/error.hpp"
+
+namespace ohpx::runtime {
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::uint64_t parse_number(const std::string& value, const std::string& what) {
+  try {
+    const long long parsed = std::stoll(value);
+    if (parsed < 0) throw std::out_of_range("negative");
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::exception&) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "process-host config: bad number for " + what + ": '" +
+                          value + "'");
+  }
+}
+
+/// "host:port" → pair; a bare ":port" keeps the default host.
+void parse_listen(const std::string& value, ProcessHostConfig& config) {
+  const auto colon = value.rfind(':');
+  if (colon == std::string::npos) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "process-host config: listen wants host:port, got '" +
+                          value + "'");
+  }
+  if (colon > 0) config.listen_host = value.substr(0, colon);
+  const std::uint64_t port =
+      parse_number(value.substr(colon + 1), "listen port");
+  if (port > 65535) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "process-host config: listen port out of range");
+  }
+  config.listen_port = static_cast<std::uint16_t>(port);
+}
+
+void apply_key(const std::string& key, const std::string& value,
+               ProcessHostConfig& config) {
+  if (key == "machine") {
+    config.machine_name = value;
+  } else if (key == "listen") {
+    parse_listen(value, config);
+  } else if (key == "advertise") {
+    config.advertise_host = value;
+  } else if (key == "named") {
+    config.named_uri = value;
+  } else if (key == "contexts") {
+    config.contexts = static_cast<std::size_t>(parse_number(value, key));
+  } else if (key == "heartbeat_ms") {
+    config.heartbeat_interval =
+        std::chrono::milliseconds(parse_number(value, key));
+  } else if (key == "ttl_ms") {
+    config.replica_ttl = std::chrono::milliseconds(parse_number(value, key));
+  } else {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "process-host config: unknown key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+ProcessHostConfig ProcessHostConfig::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "cannot read process-host config '" + path + "'");
+  }
+  ProcessHostConfig config;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      throw ObjectError(ErrorCode::bad_object_ref,
+                        "process-host config: expected key = value, got '" +
+                            text + "'");
+    }
+    apply_key(trim(text.substr(0, eq)), trim(text.substr(eq + 1)), config);
+  }
+  return config;
+}
+
+ProcessHostConfig ProcessHostConfig::from_args(int argc,
+                                               const char* const* argv) {
+  ProcessHostConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value_of = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw ObjectError(ErrorCode::bad_object_ref,
+                          "process-host flag " + flag + " wants a value");
+      }
+      return argv[++i];
+    };
+    if (flag == "--config") {
+      // The file is the base; later flags override it.
+      config = from_file(value_of());
+    } else if (flag == "--machine") {
+      config.machine_name = value_of();
+    } else if (flag == "--listen") {
+      parse_listen(value_of(), config);
+    } else if (flag == "--advertise") {
+      config.advertise_host = value_of();
+    } else if (flag == "--named") {
+      config.named_uri = value_of();
+    } else if (flag == "--contexts") {
+      config.contexts =
+          static_cast<std::size_t>(parse_number(value_of(), "contexts"));
+    } else if (flag == "--heartbeat-ms") {
+      config.heartbeat_interval =
+          std::chrono::milliseconds(parse_number(value_of(), "heartbeat-ms"));
+    } else if (flag == "--ttl-ms") {
+      config.replica_ttl =
+          std::chrono::milliseconds(parse_number(value_of(), "ttl-ms"));
+    } else {
+      throw ObjectError(ErrorCode::bad_object_ref,
+                        "unknown process-host flag '" + flag + "'");
+    }
+  }
+  return config;
+}
+
+ProcessHost::ProcessHost(ProcessHostConfig config)
+    : config_(std::move(config)) {
+  if (config_.contexts == 0) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "process-host config: contexts must be >= 1");
+  }
+  const netsim::LanId lan = world_.add_lan(config_.machine_name + "-lan");
+  const netsim::MachineId machine =
+      world_.add_machine(config_.machine_name, lan);
+  contexts_.reserve(config_.contexts);
+  for (std::size_t i = 0; i < config_.contexts; ++i) {
+    orb::Context& context = world_.create_context(machine);
+    // Context 0 takes the configured port; the rest bind ephemeral ports
+    // on the same interface so each has its own accepting listener.
+    context.enable_tcp(config_.listen_host,
+                       i == 0 ? config_.listen_port : std::uint16_t{0},
+                       config_.advertise_host);
+    contexts_.push_back(&context);
+  }
+  if (!config_.named_uri.empty()) {
+    names_ = std::make_unique<naming::NameClient>(*contexts_.front(),
+                                                  config_.named_uri);
+  }
+}
+
+ProcessHost::~ProcessHost() {
+  std::vector<Advertised> to_withdraw;
+  {
+    sync::UniqueLock lock(mutex_);
+    stopping_ = true;
+    to_withdraw = std::move(advertised_);
+    advertised_.clear();
+  }
+  stop_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  for (const Advertised& entry : to_withdraw) {
+    try {
+      names_->unbind_replica(entry.name, entry.replica_id);
+    } catch (const Error&) {
+      // Best effort: the daemon may already be gone; the lease will lapse.
+    }
+  }
+}
+
+std::uint16_t ProcessHost::port() const {
+  return contexts_.front()->current_address().tcp_port;
+}
+
+naming::NameClient& ProcessHost::names() {
+  if (!names_) {
+    throw ObjectError(ErrorCode::bad_object_ref,
+                      "process host has no name service configured");
+  }
+  return *names_;
+}
+
+std::uint64_t ProcessHost::advertise(const std::string& name,
+                                     const orb::ObjectRef& ref) {
+  const std::uint64_t replica_id =
+      names().bind_replica(name, ref, config_.replica_ttl);
+  sync::LockGuard lock(mutex_);
+  advertised_.push_back(Advertised{name, replica_id, ref.to_bytes()});
+  ensure_heartbeat_thread_locked();
+  return replica_id;
+}
+
+void ProcessHost::withdraw(const std::string& name, std::uint64_t replica_id) {
+  {
+    sync::LockGuard lock(mutex_);
+    advertised_.erase(
+        std::remove_if(advertised_.begin(), advertised_.end(),
+                       [&](const Advertised& entry) {
+                         return entry.name == name &&
+                                entry.replica_id == replica_id;
+                       }),
+        advertised_.end());
+  }
+  names().unbind_replica(name, replica_id);
+}
+
+void ProcessHost::ensure_heartbeat_thread_locked() {
+  if (heartbeat_running_ || stopping_) return;
+  heartbeat_running_ = true;
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void ProcessHost::heartbeat_loop() {
+  while (true) {
+    std::vector<Advertised> snapshot;
+    {
+      sync::UniqueLock lock(mutex_);
+      const auto deadline =
+          std::chrono::steady_clock::now() + config_.heartbeat_interval;
+      while (!stopping_) {
+        if (stop_cv_.wait_until(lock.native(), deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stopping_) return;
+      snapshot = advertised_;
+    }
+    for (Advertised& entry : snapshot) {
+      try {
+        if (!names_->heartbeat(entry.name, entry.replica_id,
+                               config_.replica_ttl)) {
+          // Registration gone (daemon restarted or lease lapsed during a
+          // partition): re-register under a fresh replica id.
+          const std::uint64_t fresh = names_->bind_replica(
+              entry.name, orb::ObjectRef::from_bytes(entry.ref),
+              config_.replica_ttl);
+          sync::LockGuard lock(mutex_);
+          for (Advertised& live : advertised_) {
+            if (live.name == entry.name &&
+                live.replica_id == entry.replica_id) {
+              live.replica_id = fresh;
+            }
+          }
+        }
+      } catch (const Error&) {
+        // Directory unreachable: keep beating; leases are renewed again
+        // as soon as it comes back (or re-registered via the false path).
+      }
+    }
+  }
+}
+
+}  // namespace ohpx::runtime

@@ -10,7 +10,9 @@ orb::Context& World::create_context(netsim::MachineId machine) {
       orb::Context::allocate_id(), machine, topology_, location_);
   sync::LockGuard lock(mutex_);
   contexts_.push_back(std::move(context));
-  return *contexts_.back();
+  orb::Context* created = contexts_.back().get();
+  contexts_by_id_.emplace(created->id(), created);
+  return *created;
 }
 
 std::size_t World::context_count() const {
@@ -20,11 +22,12 @@ std::size_t World::context_count() const {
 
 orb::Context& World::context(orb::ContextId id) {
   sync::LockGuard lock(mutex_);
-  for (const auto& context : contexts_) {
-    if (context->id() == id) return *context;
+  const auto it = contexts_by_id_.find(id);
+  if (it == contexts_by_id_.end()) {
+    throw ObjectError(ErrorCode::context_not_found,
+                      "no context with id " + std::to_string(id));
   }
-  throw ObjectError(ErrorCode::context_not_found,
-                    "no context with id " + std::to_string(id));
+  return *it->second;
 }
 
 std::vector<orb::Context*> World::contexts_on(netsim::MachineId machine) {
@@ -37,7 +40,19 @@ std::vector<orb::Context*> World::contexts_on(netsim::MachineId machine) {
 }
 
 orb::Context* World::find_context_of(orb::ObjectId object_id) {
+  // Fast path: the location service already maps object → context id (it
+  // is the source of truth the ORB routes by), so hosting lookups are an
+  // index probe, not a scan over every context's servant table.
+  const auto address = location_.resolve(object_id);
   sync::LockGuard lock(mutex_);
+  if (address) {
+    const auto it = contexts_by_id_.find(address->context_id);
+    if (it != contexts_by_id_.end() && it->second->hosts(object_id)) {
+      return it->second;
+    }
+  }
+  // Slow path: activated-but-republished-elsewhere or never-published
+  // objects (migration windows, location entries kept past deactivate).
   for (const auto& context : contexts_) {
     if (context->hosts(object_id)) return context.get();
   }

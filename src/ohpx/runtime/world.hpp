@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ohpx/common/annotations.hpp"
@@ -46,7 +47,10 @@ class World {
   /// Contexts placed on `machine` (pointers remain owned by the World).
   std::vector<orb::Context*> contexts_on(netsim::MachineId machine);
 
-  /// The context currently hosting `object_id`, or nullptr.
+  /// The context currently hosting `object_id`, or nullptr.  O(1)-ish:
+  /// resolves the object's context id through the location service and
+  /// probes the context index; only unpublished objects (migration
+  /// windows) fall back to scanning.
   orb::Context* find_context_of(orb::ObjectId object_id);
 
  private:
@@ -54,6 +58,8 @@ class World {
   orb::LocationService location_;
   mutable sync::Mutex mutex_{"runtime.world"};
   std::vector<std::unique_ptr<orb::Context>> contexts_ OHPX_GUARDED_BY(mutex_);
+  std::unordered_map<orb::ContextId, orb::Context*> contexts_by_id_
+      OHPX_GUARDED_BY(mutex_);
 };
 
 }  // namespace ohpx::runtime

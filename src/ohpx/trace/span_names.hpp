@@ -21,6 +21,7 @@ inline constexpr const char* kRegistered[] = {
     "cache.invalidate",  // orb: cached selection dropped (revision bump)
     "cap.process",       // capability: outbound chain stage
     "cap.unprocess",     // capability: inbound chain stage (reverse)
+    "naming.failover",   // naming: stub rebound to another live replica
     "proto.glue",        // protocol: glue-code dispatch
     "proto.nexus",       // protocol: nexus relay hop
     "proto.relay",       // protocol: store-and-forward relay

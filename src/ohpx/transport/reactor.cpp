@@ -20,6 +20,7 @@
 #include "ohpx/resilience/clock.hpp"
 #include "ohpx/resilience/deadline.hpp"
 #include "ohpx/trace/trace.hpp"
+#include "ohpx/transport/tcp.hpp"
 #include "ohpx/wire/buffer_pool.hpp"
 
 namespace ohpx::transport {
@@ -434,10 +435,12 @@ void Reactor::open_connection(Shard& shard, Connection& conn,
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(conn.port);
-  if (::inet_pton(AF_INET, conn.host.c_str(), &addr.sin_addr) != 1) {
+  try {
+    addr.sin_addr = resolve_ipv4(conn.host);
+  } catch (const TransportError& e) {
     ::close(fd);
     fail_connection(shard, conn, ErrorCode::transport_connect_failed,
-                    "bad address: " + conn.host, out);
+                    e.what(), out);
     return;
   }
   conn.fd = fd;

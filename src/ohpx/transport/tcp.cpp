@@ -1,6 +1,7 @@
 #include "ohpx/transport/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -106,6 +107,31 @@ bool read_full(int fd, std::uint8_t* data, std::size_t size, bool eof_ok) {
 
 }  // namespace
 
+in_addr resolve_ipv4(const std::string& host) {
+  in_addr addr{};
+  if (host.empty() || host == "0.0.0.0") {
+    addr.s_addr = htonl(INADDR_ANY);
+    return addr;
+  }
+  if (::inet_pton(AF_INET, host.c_str(), &addr) == 1) {
+    return addr;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    if (result) ::freeaddrinfo(result);
+    throw TransportError(ErrorCode::transport_connect_failed,
+                         "cannot resolve host '" + host +
+                             "': " + ::gai_strerror(rc));
+  }
+  addr = reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+  ::freeaddrinfo(result);
+  return addr;
+}
+
 // One gather write of length-prefix + frame instead of two sends: without
 // the single syscall, the 4-byte prefix used to go out as its own segment
 // whenever the kernel flushed between the calls, and a short second send
@@ -150,17 +176,22 @@ wire::Buffer tcp_read_frame(int fd) {
 // ---- TcpListener ---------------------------------------------------------
 
 TcpListener::TcpListener(std::uint16_t port, FrameHandler handler)
+    : TcpListener("127.0.0.1", port, std::move(handler)) {}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port,
+                         FrameHandler handler)
     : handler_(std::move(handler)) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = resolve_ipv4(host);  // before socket(): a throw here
+                                       // must not leak an fd
+  addr.sin_port = htons(port);
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno(ErrorCode::transport_io, "socket");
 
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(listen_fd_);
     throw_errno(ErrorCode::transport_io, "bind");
@@ -327,17 +358,13 @@ void TcpListener::serve_connection(int fd) {
 
 TcpChannel::TcpChannel(const std::string& host, std::uint16_t port)
     : host_(host), port_(port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno(ErrorCode::transport_connect_failed, "socket");
-
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
+  addr.sin_addr = resolve_ipv4(host);
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    throw TransportError(ErrorCode::transport_connect_failed,
-                         "bad address: " + host);
-  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno(ErrorCode::transport_connect_failed, "socket");
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd_);
     throw_errno(ErrorCode::transport_connect_failed, "connect");

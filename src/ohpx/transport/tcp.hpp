@@ -1,9 +1,13 @@
-// Real TCP transport over loopback sockets, built directly on the POSIX
-// socket API.  Stream framing: u32 big-endian payload length + payload.
-// This is the "Nexus-based TCP protocol" bearer when running against a
-// real network stack (the benchmark suite instead uses the netsim-timed
-// channel so results are deterministic — see DESIGN.md §2).
+// Real TCP transport built directly on the POSIX socket API.  Stream
+// framing: u32 big-endian payload length + payload.  This is the
+// "Nexus-based TCP protocol" bearer when running against a real network
+// stack (the benchmark suite instead uses the netsim-timed channel so
+// results are deterministic — see DESIGN.md §2).  Listeners default to
+// loopback but can bind any local interface, which is what lets a World
+// span OS processes and machines (docs/deployment.md).
 #pragma once
+
+#include <netinet/in.h>
 
 #include <atomic>
 #include <cstdint>
@@ -18,11 +22,20 @@
 
 namespace ohpx::transport {
 
-/// Accepting side: binds 127.0.0.1:`port` (0 = ephemeral), serves each
-/// connection on its own thread, dispatching frames into `handler`.
+/// Resolves `host` to an IPv4 address: dotted-quad fast path, getaddrinfo
+/// fallback for names ("localhost", machine names).  "" and "0.0.0.0" map
+/// to INADDR_ANY (listeners bind every interface).  Throws
+/// TransportError(transport_connect_failed) for unresolvable hosts.
+in_addr resolve_ipv4(const std::string& host);
+
+/// Accepting side: binds `host`:`port` (port 0 = ephemeral, host "" /
+/// "0.0.0.0" = all interfaces), serves each connection on its own thread,
+/// dispatching frames into `handler`.
 class TcpListener {
  public:
   TcpListener(std::uint16_t port, FrameHandler handler);
+  TcpListener(const std::string& host, std::uint16_t port,
+              FrameHandler handler);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;

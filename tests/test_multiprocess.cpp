@@ -1,0 +1,216 @@
+// End-to-end multi-process deployment test (docs/deployment.md).
+//
+// Forks the real daemons — one ohpx-named directory and two ohpx-hostd
+// replicas advertising svc/echo — then drives traffic from an in-process
+// client through a ReplicaPointer and kill -9's the replica the client is
+// bound to mid-stream.  The assertions are the deployment story's
+// acceptance criteria:
+//   - every acknowledged call returned the right answer (no loss),
+//   - the pointer failed over at least once,
+//   - attempts == calls + failovers (each failover cost exactly the one
+//     attempt that hit the dying replica),
+//   - the directory no longer lists the dead replica afterwards.
+//
+// The daemon binaries come from the OHPX_NAMED_BIN / OHPX_HOSTD_BIN
+// environment variables (set by tests/CMakeLists.txt from the build
+// tree); the test skips when they are absent so the suite still runs
+// from a bare test binary.
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ohpx/naming/failover.hpp"
+#include "ohpx/naming/name_client.hpp"
+#include "ohpx/ohpx.hpp"
+#include "ohpx/scenario/echo.hpp"
+
+namespace ohpx {
+namespace {
+
+// A forked daemon with its stdout captured through a pipe.  Killed with
+// SIGKILL and reaped on destruction unless already reaped.
+struct Child {
+  pid_t pid = -1;
+  int out = -1;
+
+  Child() = default;
+  Child(Child&& other) noexcept : pid(other.pid), out(other.out) {
+    other.pid = -1;
+    other.out = -1;
+  }
+  Child& operator=(Child&& other) noexcept {
+    if (this != &other) {
+      reap(SIGKILL);
+      pid = other.pid;
+      out = other.out;
+      other.pid = -1;
+      other.out = -1;
+    }
+    return *this;
+  }
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+
+  ~Child() { reap(SIGKILL); }
+
+  void reap(int sig) {
+    if (pid > 0) {
+      ::kill(pid, sig);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+    if (out >= 0) {
+      ::close(out);
+      out = -1;
+    }
+  }
+};
+
+Child spawn(const std::string& bin, const std::vector<std::string>& args) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return {};
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(bin.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(bin.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(fds[1]);
+  Child child;
+  child.pid = pid;
+  child.out = fds[0];
+  return child;
+}
+
+// Reads one '\n'-terminated line from the child's stdout, waiting up to
+// ten seconds for it — a daemon that dies before printing READY fails
+// the test instead of hanging it.
+std::string read_line(int fd) {
+  std::string line;
+  char byte = 0;
+  while (true) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 10'000) <= 0) return line;
+    const ssize_t n = ::read(fd, &byte, 1);
+    if (n <= 0 || byte == '\n') return line;
+    line.push_back(byte);
+  }
+}
+
+std::string reversed(const std::string& text) {
+  return std::string(text.rbegin(), text.rend());
+}
+
+TEST(MultiProcess, KillNineFailoverLosesNoAcknowledgedCalls) {
+  const char* named_bin = std::getenv("OHPX_NAMED_BIN");
+  const char* hostd_bin = std::getenv("OHPX_HOSTD_BIN");
+  if (named_bin == nullptr || hostd_bin == nullptr) {
+    GTEST_SKIP() << "OHPX_NAMED_BIN / OHPX_HOSTD_BIN not set";
+  }
+
+  Child named = spawn(named_bin, {"--sweep-ms", "200"});
+  ASSERT_GT(named.pid, 0);
+  unsigned named_port = 0;
+  char uri_buf[128] = {0};
+  ASSERT_EQ(std::sscanf(read_line(named.out).c_str(), "READY %u %127s",
+                        &named_port, uri_buf),
+            2)
+      << "ohpx-named did not come up";
+  const std::string named_uri = "127.0.0.1:" + std::to_string(named_port);
+
+  // Spawn the replicas one at a time: hostd prints READY only after its
+  // advertise() registered, so waiting on each line pins the directory's
+  // insertion order (a first, b second) — which makes the client's first
+  // bind and its failover target deterministic.
+  const auto spawn_replica = [&](const std::string& machine) {
+    return spawn(hostd_bin, {"--named", named_uri, "--machine", machine,
+                             "--serve", "svc/echo"});
+  };
+  struct Replica {
+    Child child;
+    int pid = 0;
+    unsigned port = 0;
+  };
+  Replica replicas[2];
+  const char* machines[2] = {"srv-a", "srv-b"};
+  for (int i = 0; i < 2; ++i) {
+    replicas[i].child = spawn_replica(machines[i]);
+    ASSERT_GT(replicas[i].child.pid, 0);
+    unsigned long long replica_id = 0;
+    ASSERT_EQ(std::sscanf(read_line(replicas[i].child.out).c_str(),
+                          "READY %d %u %llu", &replicas[i].pid,
+                          &replicas[i].port, &replica_id),
+              3)
+        << machines[i] << " did not come up";
+    EXPECT_EQ(replicas[i].pid, static_cast<int>(replicas[i].child.pid));
+  }
+
+  runtime::World world;
+  const netsim::LanId lan = world.add_lan("client-lan");
+  orb::Context& ctx = world.create_context(world.add_machine("client", lan));
+  naming::NameClient names(ctx, named_uri);
+  naming::ReplicaPointer<scenario::EchoStub> echo(ctx, names, "svc/echo");
+
+  constexpr int kCalls = 120;
+  constexpr int kKillAt = 40;
+  unsigned killed_port = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    if (i == kKillAt) {
+      // kill -9 whichever replica the client is actually bound to — the
+      // directory keeps its (now stale) lease until report_dead, which
+      // is exactly the window failover has to cross.
+      const unsigned bound_port = echo.current_ref().home().tcp_port;
+      Replica& victim =
+          bound_port == replicas[0].port ? replicas[0] : replicas[1];
+      ASSERT_EQ(victim.port, bound_port);
+      victim.child.reap(SIGKILL);
+      killed_port = bound_port;
+    }
+    const std::string text = "call-" + std::to_string(i);
+    std::string out;
+    try {
+      out = echo.call(
+          [&](scenario::EchoStub& stub) { return stub.reverse(text); });
+    } catch (const Error& e) {
+      FAIL() << "call " << i << " escaped: " << e.what() << " (named "
+             << named_port << ", a " << replicas[0].port << ", b "
+             << replicas[1].port << ", bound "
+             << echo.current_ref().home().tcp_port << ")";
+    }
+    ASSERT_EQ(out, reversed(text)) << "call " << i << " corrupted";
+  }
+
+  EXPECT_GE(echo.failovers(), 1u);
+  EXPECT_EQ(echo.attempts(), kCalls + echo.failovers())
+      << "an acknowledged call was lost or double-counted across the kill";
+  EXPECT_NE(echo.current_ref().home().tcp_port, killed_port);
+
+  // report_dead pruned the victim immediately — no lease wait.
+  const auto [version, live] = names.resolve_all("svc/echo");
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_NE(live[0].home().tcp_port, killed_port);
+  EXPECT_GT(version, 0u);
+}
+
+}  // namespace
+}  // namespace ohpx

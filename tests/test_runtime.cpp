@@ -54,6 +54,20 @@ TEST_F(RuntimeFixture, FindContextOfObject) {
   EXPECT_EQ(world_.find_context_of(999999), nullptr);
 }
 
+TEST_F(RuntimeFixture, FindContextOfProbesTheContextIndex) {
+  // Many contexts, object in the very last one: the id-indexed probe must
+  // find it regardless of depth (bench_naming's Name_FindContext arms gate
+  // the O(1)-ish timing claim; this pins correctness at depth).
+  std::vector<orb::Context*> extra;
+  for (int i = 0; i < 64; ++i) {
+    extra.push_back(&world_.create_context(m1_));
+  }
+  const orb::ObjectId id =
+      extra.back()->activate(std::make_shared<EchoServant>());
+  EXPECT_EQ(world_.find_context_of(id), extra.back());
+  EXPECT_EQ(world_.find_context_of(id + 999999), nullptr);
+}
+
 // ---- migration -----------------------------------------------------------------
 
 TEST_F(RuntimeFixture, MigrateSharedMovesServantAndLocation) {

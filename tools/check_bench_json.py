@@ -12,6 +12,13 @@ quantity.
             concurrency (the tentpole claim: one event loop with N calls
             in flight vs. N parked threads).
 
+  naming    BENCH_naming.json must show (a) World::find_context_of staying
+            O(1)-ish — the 512-context arm may cost at most
+            --max-find-ratio times the 8-context arm, where a linear scan
+            would cost ~64x — and (b) the NameClient resolve cache still
+            earning its keep: the fresh (uncached) resolve must be at
+            least --min-cache-speedup times slower than the cached probe.
+
   fastpath  BENCH_fastpath.json must keep the selection cache's
             cached-over-uncached speedup within --tolerance of the
             committed baseline's speedup.  A hot-path regression that
@@ -22,6 +29,8 @@ quantity.
 
 Usage:
   python3 tools/check_bench_json.py fanin FANIN.json [--min-speedup 2.0]
+  python3 tools/check_bench_json.py naming NAMING.json \
+      [--max-find-ratio 8.0] [--min-cache-speedup 3.0]
   python3 tools/check_bench_json.py fastpath FRESH.json BASELINE.json \
       [--tolerance 0.05]
 """
@@ -75,6 +84,40 @@ def check_fanin(options: argparse.Namespace) -> int:
     return 0
 
 
+def check_naming(options: argparse.Namespace) -> int:
+    records = load_records(options.json)
+    find_small = record_value(records, options.json, "Name_FindContext/8",
+                              "real_time")
+    find_large = record_value(records, options.json, "Name_FindContext/512",
+                              "real_time")
+    if find_small <= 0:
+        return fail("Name_FindContext/8 real_time is not positive")
+    find_ratio = find_large / find_small
+    if find_ratio > options.max_find_ratio:
+        return fail(
+            f"find_context_of 512/8-context time ratio {find_ratio:.2f}x "
+            f"exceeds {options.max_find_ratio:.2f}x — the context index "
+            f"degraded toward a linear scan (~64x)")
+
+    cached = record_value(records, options.json, "Name_ClientResolveCached",
+                          "real_time")
+    fresh = record_value(records, options.json, "Name_ClientResolveFresh",
+                         "real_time")
+    if cached <= 0:
+        return fail("Name_ClientResolveCached real_time is not positive")
+    cache_speedup = fresh / cached
+    if cache_speedup < options.min_cache_speedup:
+        return fail(
+            f"NameClient fresh/cached resolve ratio {cache_speedup:.2f}x is "
+            f"below the {options.min_cache_speedup:.2f}x floor — the "
+            f"resolve cache stopped paying for itself")
+    print(f"check_bench_json: OK: naming find-context 512/8 "
+          f"{find_ratio:.2f}x (cap {options.max_find_ratio:.2f}x), "
+          f"resolve fresh/cached {cache_speedup:.2f}x "
+          f"(floor {options.min_cache_speedup:.2f}x)")
+    return 0
+
+
 def check_fastpath(options: argparse.Namespace) -> int:
     fresh = load_records(options.json)
     base = load_records(options.baseline)
@@ -108,6 +151,17 @@ def main() -> int:
                             "(default 2.0 — the smoke-run floor; full "
                             "runs target 10)")
     fanin.set_defaults(run=check_fanin)
+
+    naming = sub.add_parser("naming", help="gate BENCH_naming.json")
+    naming.add_argument("json", help="naming bench JSON")
+    naming.add_argument("--max-find-ratio", type=float, default=8.0,
+                        help="maximum find_context_of time ratio between "
+                             "the 512- and 8-context arms (default 8.0; a "
+                             "linear scan would be ~64)")
+    naming.add_argument("--min-cache-speedup", type=float, default=3.0,
+                        help="minimum fresh/cached resolve time ratio "
+                             "(default 3.0)")
+    naming.set_defaults(run=check_naming)
 
     fastpath = sub.add_parser("fastpath", help="gate BENCH_fastpath.json")
     fastpath.add_argument("json", help="freshly produced fastpath JSON")

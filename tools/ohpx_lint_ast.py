@@ -344,6 +344,7 @@ class LibclangEngine:
 # unambiguous in stripped text, no AST needed)
 
 BLOCKING_SOCKET_CALLS = (
+    "socket", "bind", "listen",
     "connect", "accept", "accept4",
     "send", "sendto", "sendmsg", "recv", "recvfrom", "recvmsg",
     "read", "write", "readv", "writev",
@@ -523,10 +524,11 @@ class ConsistencyChecker:
                     findings.report(
                         source, lineno, "blocking-socket",
                         f"::{match.group(1)}() outside src/ohpx/transport/ "
-                        "— blocking socket I/O belongs to the transport "
-                        "layer (Reactor::submit for async, Channel for the "
-                        "sync bearer); a raw syscall parks a thread the "
-                        "reactor cannot see")
+                        "— socket I/O and accepting listeners belong to "
+                        "the transport layer (Reactor::submit for async, "
+                        "Channel for the sync bearer, TcpListener for "
+                        "accepting sockets); a raw syscall parks a thread "
+                        "or owns an fd the reactor cannot see")
 
     def check_metric_names(self, findings: Findings) -> None:
         """Every metric-registry call site in src/ outside src/ohpx/metrics/
@@ -917,6 +919,43 @@ def self_test() -> int:
          "void f(Codec& codec, void* buf) { codec.Codec::read(buf, 1); }\n"
          "}  // namespace ohpx::orb\n",
          []),  # member-qualified call must NOT trip the rule
+        ("accepting-socket syscalls above transport",
+         "src/ohpx/naming/rawlisten.cpp",
+         'extern "C" int socket(int, int, int);\n'
+         'extern "C" int bind(int, const void*, unsigned int);\n'
+         'extern "C" int listen(int, int);\n'
+         "namespace ohpx::naming {\n"
+         "int serve(const void* addr) {\n"
+         "  const int fd = ::socket(2, 1, 0);\n"
+         "  ::bind(fd, addr, 16);\n"
+         "  ::listen(fd, 8);\n"
+         "  return fd;\n"
+         "}\n"
+         "}  // namespace ohpx::naming\n",
+         ["[blocking-socket]"]),
+        ("accepting-socket syscalls inside transport are sanctioned",
+         "src/ohpx/transport/listener_ok.cpp",
+         'extern "C" int socket(int, int, int);\n'
+         'extern "C" int listen(int, int);\n'
+         "namespace ohpx::transport {\n"
+         "int open_listener() {\n"
+         "  const int fd = ::socket(2, 1, 0);\n"
+         "  ::listen(fd, 8);\n"
+         "  return fd;\n"
+         "}\n"
+         "}  // namespace ohpx::transport\n",
+         []),  # the transport layer owns its fds
+        ("std::bind and member bind() are not the syscall",
+         "src/ohpx/orb/binder.cpp",
+         "namespace std { template <class F> F bind(F f) { return f; } }\n"
+         "namespace ohpx::orb {\n"
+         "struct Directory { void bind(int); };\n"
+         "void f(Directory& directory) {\n"
+         "  directory.bind(1);\n"
+         "  (void)std::bind(0);\n"
+         "}\n"
+         "}  // namespace ohpx::orb\n",
+         []),  # only global-scope ::bind( is the syscall
         ("raw metric name at a registry call site",
          "src/ohpx/orb/metered.cpp",
          "namespace ohpx::metrics {\n"

@@ -1,0 +1,118 @@
+// ohpx-named — the standalone name-service daemon (docs/deployment.md).
+//
+// Wraps a NameServiceServant behind the well-known bootstrap object id on
+// a real TCP listener, sweeps expired replica leases periodically, and
+// optionally writes its serialized bootstrap reference to a file so
+// clients can bootstrap from either form:
+//
+//   ohpx-named --host 0.0.0.0 --port 7400 --advertise ns.cluster.local \
+//              --ref-file /var/run/ohpx/named.ref
+//
+// stdout protocol (consumed by scripts and the multiprocess test): the
+// first line is "READY <port> <uri>", flushed before serving begins.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "ohpx/naming/bootstrap.hpp"
+#include "ohpx/naming/name_service.hpp"
+#include "ohpx/ohpx.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string advertise;
+  std::string ref_file;
+  long sweep_ms = 500;
+  long run_ms = 0;  // 0 = until signalled
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--advertise H]\n"
+               "          [--ref-file PATH] [--sweep-ms N] [--run-ms N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ohpx;
+
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--host" && (v = value())) {
+      opts.host = v;
+    } else if (flag == "--port" && (v = value())) {
+      opts.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (flag == "--advertise" && (v = value())) {
+      opts.advertise = v;
+    } else if (flag == "--ref-file" && (v = value())) {
+      opts.ref_file = v;
+    } else if (flag == "--sweep-ms" && (v = value())) {
+      opts.sweep_ms = std::atol(v);
+    } else if (flag == "--run-ms" && (v = value())) {
+      opts.run_ms = std::atol(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opts.sweep_ms <= 0) opts.sweep_ms = 500;
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  runtime::World world;
+  const netsim::LanId lan = world.add_lan("named-lan");
+  orb::Context& ctx = world.create_context(world.add_machine("named", lan));
+  ctx.enable_tcp(opts.host, opts.port, opts.advertise);
+
+  auto directory = std::make_shared<naming::NameServiceServant>();
+  ctx.activate_with_id(naming::kWellKnownNameServiceId, directory);
+
+  const proto::ServerAddress address = ctx.current_address();
+  const std::string uri =
+      address.tcp_host + ":" + std::to_string(address.tcp_port);
+  if (!opts.ref_file.empty()) {
+    naming::write_bootstrap_file(
+        opts.ref_file,
+        naming::make_bootstrap_ref(address.tcp_host, address.tcp_port));
+  }
+  std::printf("READY %u %s\n", address.tcp_port, uri.c_str());
+  std::printf("ohpx-named: directory %llx on %s (sweep every %ld ms)\n",
+              static_cast<unsigned long long>(naming::kWellKnownNameServiceId),
+              uri.c_str(), opts.sweep_ms);
+  std::fflush(stdout);
+
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.sweep_ms));
+    const std::size_t swept = directory->sweep_expired();
+    if (swept > 0) {
+      std::printf("ohpx-named: swept %zu expired replica(s), %zu name(s) live\n",
+                  swept, directory->size());
+      std::fflush(stdout);
+    }
+    if (opts.run_ms > 0 && std::chrono::steady_clock::now() - started >
+                               std::chrono::milliseconds(opts.run_ms)) {
+      break;
+    }
+  }
+  std::printf("ohpx-named: shutting down\n");
+  return 0;
+}
